@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks.
+//!
+//! `neuron_selection` reproduces the paper's §V footnote: the sorting
+//! overhead of contribution-guided selection must be negligible next to a
+//! training step (paper: 18 ms vs 12 min on-device; here both shrink with
+//! the model scale but the *ratio* must stay extreme). The other groups
+//! cover the hot paths of the simulation: convolution, masked vs full
+//! training steps, and masked aggregation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use helios_core::softtrain::select_layer_mask;
+use helios_fl::{aggregate, MaskedUpdate};
+use helios_nn::{models, CrossEntropyLoss, ModelMask, Sgd};
+use helios_tensor::{conv2d, uniform_init, ConvSpec, Tensor, TensorRng};
+use std::hint::black_box;
+
+fn neuron_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neuron_selection");
+    for &n in &[1024usize, 8192, 65536] {
+        let mut rng = TensorRng::seed_from(1);
+        let contributions: Vec<f32> = (0..n).map(|_| rng.uniform(0.0, 1.0)).collect();
+        let k = n / 8;
+        let top = k / 10;
+        group.bench_function(format!("select_{n}_neurons"), |b| {
+            b.iter_batched(
+                || TensorRng::seed_from(2),
+                |mut rng| {
+                    black_box(select_layer_mask(
+                        black_box(&contributions),
+                        k,
+                        top,
+                        &[],
+                        &mut rng,
+                    ))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    // The training step the selection overhead is compared against
+    // (§V footnote's "18 ms vs 12 min" ratio check).
+    let mut rng = TensorRng::seed_from(3);
+    let mut net = models::alexnet(10, &mut rng);
+    let x = uniform_init(&[16, 3, 16, 16], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+    let loss = CrossEntropyLoss::new();
+    let mut opt = Sgd::new(0.01);
+    group.bench_function("training_step_alexnet_batch16", |b| {
+        b.iter(|| {
+            net.zero_grad();
+            let logits = net.forward(black_box(&x)).expect("forward");
+            let (_, g) = loss.forward_backward(&logits, &labels).expect("loss");
+            net.backward(&g).expect("backward");
+            opt.step(&mut net).expect("step");
+        })
+    });
+    group.finish();
+}
+
+fn convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    let mut rng = TensorRng::seed_from(4);
+    for &(ch_in, ch_out) in &[(3usize, 16usize), (16, 32)] {
+        let spec = ConvSpec::new(ch_in, ch_out, 3, 1, 1);
+        let x = uniform_init(&[16, ch_in, 16, 16], -1.0, 1.0, &mut rng);
+        let w = uniform_init(&spec.weight_dims(), -1.0, 1.0, &mut rng);
+        let bias = Tensor::zeros(&[ch_out]);
+        group.bench_function(format!("forward_{ch_in}to{ch_out}_16x16_b16"), |b| {
+            b.iter(|| black_box(conv2d(black_box(&x), &w, &bias, &spec).expect("conv")))
+        });
+    }
+    group.finish();
+}
+
+fn masked_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masked_vs_full_step");
+    let loss = CrossEntropyLoss::new();
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+    for &(label, keep) in &[("full", 1.0f64), ("half", 0.5), ("quarter", 0.25)] {
+        let mut rng = TensorRng::seed_from(5);
+        let mut net = models::lenet(10, &mut rng);
+        let units = net.maskable_units();
+        if keep < 1.0 {
+            let mut mask = ModelMask::all_active(&units);
+            for (i, &n) in units.0.iter().enumerate() {
+                let cut = ((keep * n as f64).ceil() as usize).max(1);
+                mask.set_layer(i, Some((0..n).map(|j| j < cut).collect()));
+            }
+            net.set_masks(&mask).expect("mask fits");
+        }
+        let x = uniform_init(&[16, 1, 16, 16], -1.0, 1.0, &mut rng);
+        let mut opt = Sgd::new(0.01);
+        group.bench_function(format!("lenet_{label}"), |b| {
+            b.iter(|| {
+                net.zero_grad();
+                let logits = net.forward(black_box(&x)).expect("forward");
+                let (_, g) = loss.forward_backward(&logits, &labels).expect("loss");
+                net.backward(&g).expect("backward");
+                opt.step(&mut net).expect("step");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn masked_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    let n = 100_000usize;
+    let mut rng = TensorRng::seed_from(6);
+    let updates: Vec<Vec<f32>> = (0..4)
+        .map(|_| (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect())
+        .collect();
+    let masks: Vec<Vec<bool>> = (0..4)
+        .map(|i| (0..n).map(|j| (j + i) % 2 == 0).collect())
+        .collect();
+    group.bench_function("4_clients_100k_params_unmasked", |b| {
+        b.iter_batched(
+            || vec![0.0f32; n],
+            |mut global| {
+                let views: Vec<MaskedUpdate<'_>> = updates
+                    .iter()
+                    .map(|u| MaskedUpdate {
+                        params: u,
+                        param_mask: None,
+                        weight: 1.0,
+                    })
+                    .collect();
+                aggregate(&mut global, &views);
+                black_box(global)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("4_clients_100k_params_masked", |b| {
+        b.iter_batched(
+            || vec![0.0f32; n],
+            |mut global| {
+                let views: Vec<MaskedUpdate<'_>> = updates
+                    .iter()
+                    .zip(&masks)
+                    .map(|(u, m)| MaskedUpdate {
+                        params: u,
+                        param_mask: Some(m),
+                        weight: 1.0,
+                    })
+                    .collect();
+                aggregate(&mut global, &views);
+                black_box(global)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = neuron_selection, convolution, masked_training, masked_aggregation
+}
+criterion_main!(benches);

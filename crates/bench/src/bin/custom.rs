@@ -1,0 +1,33 @@
+//! Runs a JSON-described experiment (see `helios_bench::ExperimentConfig`).
+//!
+//! ```text
+//! cargo run -p helios-bench --release --bin custom -- experiment.json
+//! ```
+
+use helios_bench::{format_curves, format_summary, ExperimentConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: custom <experiment.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match ExperimentConfig::from_json(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = config.run();
+    println!("{}", format_curves(&metrics, (config.cycles / 10).max(1)));
+    println!("{}", format_summary(&metrics, 0.5));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,80 @@
+//! **Fig 1** — the straggler issue in original (synchronized) FL.
+//!
+//! The paper's motivating figure: a 3-device fleet (Jetson Nano,
+//! Raspberry Pi, DeepLens) where the synchronous training cycle inflates
+//! from 2.3 h (capable devices only) to 7.7 h once the straggler joins,
+//! leaving the fast devices idle most of each cycle. We reproduce the
+//! per-device cycle times, the idle fractions, and the cycle-inflation
+//! ratio (paper: ≈3.3×).
+
+use helios_data::{partition, Dataset, SyntheticVision};
+use helios_device::presets;
+use helios_fl::{FlConfig, FlEnv};
+use helios_nn::models::ModelKind;
+use helios_tensor::TensorRng;
+
+fn main() {
+    // Fig 1's fleet: Nano (capable) + Raspberry Pi + DeepLens(CPU), one
+    // shared AlexNet-like training job.
+    let fleet = vec![
+        presets::jetson_nano(),
+        presets::raspberry_pi(),
+        presets::deeplens_cpu(),
+    ];
+    let mut rng = TensorRng::seed_from(42);
+    let (train, test) = SyntheticVision::cifar10_like()
+        .generate(120 * fleet.len(), 60, &mut rng)
+        .expect("dataset generation succeeds");
+    let shards: Vec<Dataset> = partition::iid(train.len(), fleet.len(), &mut rng)
+        .into_iter()
+        .map(|idx| train.subset(&idx).expect("indices in range"))
+        .collect();
+    let env = FlEnv::new(
+        ModelKind::AlexNet,
+        fleet,
+        shards,
+        test,
+        FlConfig::default(),
+    )
+    .expect("environment builds");
+
+    let times: Vec<f64> = (0..env.num_clients())
+        .map(|i| {
+            env.client(i)
+                .expect("client exists")
+                .cycle_time()
+                .as_secs_f64()
+        })
+        .collect();
+    let slowest = times.iter().copied().fold(0.0, f64::max);
+    let capable_cycle = times[0];
+
+    println!("Fig 1: the straggler issue in original FL (AlexNet-like workload)");
+    println!(
+        "{:<18} {:>12} {:>12} {:>10}",
+        "device", "cycle time", "idle/cycle", "idle %"
+    );
+    for (i, &t) in times.iter().enumerate() {
+        let name = env.client(i).expect("client exists").profile().name().to_string();
+        let idle = slowest - t;
+        println!(
+            "{:<18} {:>12} {:>12} {:>9.0}%",
+            name,
+            helios_device::SimTime::from_secs(t).to_string(),
+            helios_device::SimTime::from_secs(idle).to_string(),
+            100.0 * idle / slowest,
+        );
+    }
+    println!(
+        "\nsync cycle without stragglers : {}",
+        helios_device::SimTime::from_secs(capable_cycle)
+    );
+    println!(
+        "sync cycle with stragglers    : {}",
+        helios_device::SimTime::from_secs(slowest)
+    );
+    println!(
+        "cycle inflation               : {:.2}x   (paper: 7.7h / 2.3h = 3.35x)",
+        slowest / capable_cycle
+    );
+}

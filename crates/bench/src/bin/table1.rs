@@ -1,0 +1,66 @@
+//! **Table I** — four stragglers with heterogeneous resources.
+//!
+//! Prints each straggler preset's compute bandwidth, memory budget, and
+//! the cost-model training-cycle time for the AlexNet/CIFAR-10 workload,
+//! next to the paper's reported values. The reproduction target is the
+//! *shape*: the time-cost column must fall as compute bandwidth falls,
+//! with ratios close to the paper's 1 : 1.16 : 1.32 : 1.65.
+
+use helios_bench::{ExperimentSpec, Workload};
+use helios_device::{presets, CostModel};
+
+fn main() {
+    let spec = ExperimentSpec::paper_fleet(Workload::AlexnetCifar10, 4, false, 42);
+    let env = spec.build_env();
+    // Reference workload: one full-model local training cycle of the
+    // AlexNet-like model (any client's model; profiles differ, not models).
+    let workload = env.client(0).expect("client 0 exists").cycle_workload();
+
+    let paper_gflops = [7.0, 6.0, 5.5, 4.5];
+    let paper_mem_mb = [252.0, 150.0, 100.0, 110.0];
+    let paper_time_min = [20.6, 23.8, 27.2, 34.0];
+
+    println!("Table I: 4 stragglers with heterogeneous resources (AlexNet / CIFAR-10-like)");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "device", "comp(GFLOPS)", "paper", "mem(MB)", "paper", "time-cost", "paper(min)"
+    );
+    let devices = presets::table1_stragglers();
+    let mut times = Vec::new();
+    for (i, d) in devices.iter().enumerate() {
+        let te = CostModel::time_for(d, &workload);
+        times.push(te.as_secs_f64());
+        println!(
+            "{:<18} {:>12.1} {:>12.1} {:>12.0} {:>12.0} {:>14} {:>14.1}",
+            d.name(),
+            d.compute_flops_per_sec() / 1e9,
+            paper_gflops[i],
+            d.memory_capacity_bytes() / (1 << 20) as f64,
+            paper_mem_mb[i],
+            te.to_string(),
+            paper_time_min[i],
+        );
+    }
+    println!("\ntime-cost ratios vs the strongest straggler (shape check):");
+    println!(
+        "{:<18} {:>10} {:>10}",
+        "device", "measured", "paper"
+    );
+    for (i, d) in devices.iter().enumerate() {
+        println!(
+            "{:<18} {:>9.2}x {:>9.2}x",
+            d.name(),
+            times[i] / times[0],
+            paper_time_min[i] / paper_time_min[0],
+        );
+    }
+    let capable = presets::jetson_nano();
+    let t_cap = CostModel::time_for(&capable, &workload);
+    println!(
+        "\ncapable reference {}: {} per cycle ({:.1}x–{:.1}x straggler slowdown)",
+        capable.name(),
+        t_cap,
+        times[0] / t_cap.as_secs_f64(),
+        times[3] / t_cap.as_secs_f64(),
+    );
+}

@@ -1,0 +1,351 @@
+//! Labelled image dataset and mini-batch iteration.
+
+use crate::{DataError, Result};
+use helios_tensor::{Tensor, TensorRng};
+
+/// A labelled image dataset stored as one `[N, C, H, W]` tensor.
+///
+/// Datasets are immutable after construction; federated clients receive
+/// [`Dataset::subset`] views copied out by index.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use helios_data::Dataset;
+/// use helios_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let images = Tensor::zeros(&[4, 1, 2, 2]);
+/// let ds = Dataset::new(images, vec![0, 1, 0, 1], 2)?;
+/// assert_eq!(ds.len(), 4);
+/// assert_eq!(ds.class_counts(), vec![2, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from an image tensor and parallel labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::LengthMismatch`] when counts disagree and
+    /// [`DataError::LabelOutOfRange`] for an invalid label.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self> {
+        let n = images.dims().first().copied().unwrap_or(0);
+        if n != labels.len() {
+            return Err(DataError::LengthMismatch {
+                images: n,
+                labels: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::LabelOutOfRange {
+                label: bad,
+                classes: num_classes,
+            });
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The full image tensor, `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-sample dimensions (`[C, H, W]`).
+    pub fn sample_dims(&self) -> Vec<usize> {
+        self.images.dims()[1..].to_vec()
+    }
+
+    /// Number of samples per class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Copies out the samples at `indices`, in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::IndexOutOfRange`] for an invalid index.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        let sample_len: usize = self.sample_dims().iter().product();
+        let src = self.images.as_slice();
+        let mut data = Vec::with_capacity(indices.len() * sample_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DataError::IndexOutOfRange {
+                    index: i,
+                    len: self.len(),
+                });
+            }
+            data.extend_from_slice(&src[i * sample_len..(i + 1) * sample_len]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend(self.sample_dims());
+        Ok(Dataset {
+            images: Tensor::from_vec(data, &dims)?,
+            labels,
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// Concatenates two datasets with identical sample dimensions and
+    /// class counts (e.g. merging shards when devices leave and their
+    /// data is redistributed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] when geometries differ.
+    pub fn merge(&self, other: &Dataset) -> Result<Dataset> {
+        if self.sample_dims() != other.sample_dims()
+            || self.num_classes != other.num_classes
+        {
+            return Err(DataError::InvalidArgument {
+                what: format!(
+                    "cannot merge {:?}/{} classes with {:?}/{} classes",
+                    self.sample_dims(),
+                    self.num_classes,
+                    other.sample_dims(),
+                    other.num_classes
+                ),
+            });
+        }
+        let mut data = self.images.as_slice().to_vec();
+        data.extend_from_slice(other.images.as_slice());
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        let mut dims = vec![self.len() + other.len()];
+        dims.extend(self.sample_dims());
+        Ok(Dataset {
+            images: Tensor::from_vec(data, &dims)?,
+            labels,
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// The samples belonging to one class, in dataset order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::LabelOutOfRange`] for an invalid class.
+    pub fn class_subset(&self, class: usize) -> Result<Dataset> {
+        if class >= self.num_classes {
+            return Err(DataError::LabelOutOfRange {
+                label: class,
+                classes: self.num_classes,
+            });
+        }
+        let indices: Vec<usize> = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
+        self.subset(&indices)
+    }
+
+    /// Iterates the dataset in fixed order as mini-batches of at most
+    /// `batch_size` samples (the final batch may be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> Batches<'_> {
+        assert!(batch_size > 0, "batch size must be nonzero");
+        Batches {
+            dataset: self,
+            order: (0..self.len()).collect(),
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Iterates the dataset as mini-batches in a seeded random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn shuffled_batches(&self, batch_size: usize, rng: &mut TensorRng) -> Batches<'_> {
+        assert!(batch_size > 0, "batch size must be nonzero");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        Batches {
+            dataset: self,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+}
+
+/// Iterator of `(images, labels)` mini-batches produced by
+/// [`Dataset::batches`] / [`Dataset::shuffled_batches`].
+#[derive(Debug)]
+pub struct Batches<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for Batches<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        let batch = self
+            .dataset
+            .subset(idx)
+            .expect("indices come from 0..len and are always valid");
+        Some((batch.images.clone(), batch.labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn four_sample_dataset() -> Dataset {
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        Dataset::new(
+            Tensor::from_vec(data, &[4, 1, 2, 2]).unwrap(),
+            vec![0, 1, 2, 0],
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let images = Tensor::zeros(&[3, 1, 2, 2]);
+        assert!(matches!(
+            Dataset::new(images.clone(), vec![0, 1], 2),
+            Err(DataError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(images, vec![0, 1, 5], 2),
+            Err(DataError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn subset_copies_in_order() {
+        let ds = four_sample_dataset();
+        let sub = ds.subset(&[2, 0]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[2, 0]);
+        // Sample 2 occupies flat range 8..12.
+        assert_eq!(&sub.images().as_slice()[0..4], &[8.0, 9.0, 10.0, 11.0]);
+        assert!(ds.subset(&[9]).is_err());
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let ds = four_sample_dataset();
+        let collected: Vec<_> = ds.batches(3).collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(collected[0].1.len(), 3);
+        assert_eq!(collected[1].1.len(), 1, "final partial batch");
+        let total: usize = collected.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn shuffled_batches_are_a_permutation_and_seeded() {
+        let ds = four_sample_dataset();
+        let mut rng1 = TensorRng::seed_from(5);
+        let mut rng2 = TensorRng::seed_from(5);
+        let a: Vec<usize> = ds
+            .shuffled_batches(2, &mut rng1)
+            .flat_map(|(_, l)| l)
+            .collect();
+        let b: Vec<usize> = ds
+            .shuffled_batches(2, &mut rng2)
+            .flat_map(|(_, l)| l)
+            .collect();
+        assert_eq!(a, b, "same seed, same order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 0, 1, 2], "labels are a permutation");
+    }
+
+    #[test]
+    fn class_counts_tally_labels() {
+        let ds = four_sample_dataset();
+        assert_eq!(ds.class_counts(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn merge_concatenates_compatible_datasets() {
+        let a = four_sample_dataset();
+        let b = four_sample_dataset();
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.class_counts(), vec![4, 2, 2]);
+        assert_eq!(&m.images().as_slice()[16..20], &[0.0, 1.0, 2.0, 3.0]);
+        // Geometry mismatch is rejected.
+        let other = Dataset::new(Tensor::zeros(&[1, 1, 3, 3]), vec![0], 3).unwrap();
+        assert!(a.merge(&other).is_err());
+    }
+
+    #[test]
+    fn class_subset_selects_one_label() {
+        let ds = four_sample_dataset();
+        let zeros = ds.class_subset(0).unwrap();
+        assert_eq!(zeros.len(), 2);
+        assert!(zeros.labels().iter().all(|&l| l == 0));
+        let empty = ds.class_subset(1).unwrap();
+        assert_eq!(empty.len(), 1);
+        assert!(ds.class_subset(9).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_ok() {
+        let ds = Dataset::new(Tensor::zeros(&[0, 1, 2, 2]), vec![], 3).unwrap();
+        assert!(ds.is_empty());
+        assert_eq!(ds.batches(4).count(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for dataset construction and slicing.
+
+use helios_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible dataset operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Image count and label count disagree.
+    LengthMismatch {
+        /// Number of images.
+        images: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A label exceeds the declared class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Declared class count.
+        classes: usize,
+    },
+    /// A subset index exceeds the dataset length.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Dataset length.
+        len: usize,
+    },
+    /// A generator or partitioner parameter was invalid.
+    InvalidArgument {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            DataError::LengthMismatch { images, labels } => {
+                write!(f, "{images} images but {labels} labels")
+            }
+            DataError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            DataError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for dataset of {len}")
+            }
+            DataError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_source_chain() {
+        let e = DataError::from(TensorError::SizeMismatch {
+            elements: 1,
+            expected: 2,
+        });
+        assert!(e.source().is_some());
+        let variants = [
+            DataError::LengthMismatch {
+                images: 1,
+                labels: 2,
+            },
+            DataError::LabelOutOfRange {
+                label: 9,
+                classes: 3,
+            },
+            DataError::IndexOutOfRange { index: 5, len: 3 },
+            DataError::InvalidArgument {
+                what: "zero clients".into(),
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(v.source().is_none());
+        }
+    }
+}

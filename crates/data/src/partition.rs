@@ -1,0 +1,321 @@
+//! Federated data partitioners: IID and two Non-IID constructions.
+
+use crate::{DataError, Result};
+use helios_tensor::TensorRng;
+
+/// Uniform IID partition: shuffles `0..n` and deals it into `clients`
+/// near-equal shards.
+///
+/// # Panics
+///
+/// Panics if `clients == 0`.
+///
+/// # Example
+///
+/// ```
+/// use helios_data::partition;
+/// use helios_tensor::TensorRng;
+///
+/// let shards = partition::iid(10, 3, &mut TensorRng::seed_from(0));
+/// let total: usize = shards.iter().map(|s| s.len()).sum();
+/// assert_eq!(total, 10);
+/// assert_eq!(shards.len(), 3);
+/// ```
+pub fn iid(n: usize, clients: usize, rng: &mut TensorRng) -> Vec<Vec<usize>> {
+    assert!(clients > 0, "need at least one client");
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut shards = vec![Vec::new(); clients];
+    for (i, idx) in order.into_iter().enumerate() {
+        shards[i % clients].push(idx);
+    }
+    shards
+}
+
+/// Sort-by-label shard partition — the Non-IID construction of Zhao et
+/// al. ("Federated Learning with Non-IID Data"), which the Helios paper
+/// uses for its §VII.D evaluation.
+///
+/// All sample indices are sorted by label, cut into
+/// `clients × shards_per_client` contiguous shards, and each client is
+/// dealt `shards_per_client` random shards. With few shards per client,
+/// each client sees only a couple of classes — the classic pathological
+/// Non-IID split.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] when there are fewer samples
+/// than shards, or `clients`/`shards_per_client` is zero.
+pub fn label_shards(
+    labels: &[usize],
+    clients: usize,
+    shards_per_client: usize,
+    rng: &mut TensorRng,
+) -> Result<Vec<Vec<usize>>> {
+    if clients == 0 || shards_per_client == 0 {
+        return Err(DataError::InvalidArgument {
+            what: "clients and shards_per_client must be nonzero".into(),
+        });
+    }
+    let total_shards = clients * shards_per_client;
+    if labels.len() < total_shards {
+        return Err(DataError::InvalidArgument {
+            what: format!(
+                "{} samples cannot fill {total_shards} shards",
+                labels.len()
+            ),
+        });
+    }
+    let mut by_label: Vec<usize> = (0..labels.len()).collect();
+    by_label.sort_by_key(|&i| labels[i]);
+    // Cut into contiguous shards.
+    let base = labels.len() / total_shards;
+    let remainder = labels.len() % total_shards;
+    let mut shards: Vec<Vec<usize>> = Vec::with_capacity(total_shards);
+    let mut cursor = 0;
+    for s in 0..total_shards {
+        let extra = usize::from(s < remainder);
+        let end = cursor + base + extra;
+        shards.push(by_label[cursor..end].to_vec());
+        cursor = end;
+    }
+    // Deal shards randomly to clients.
+    let mut shard_order: Vec<usize> = (0..total_shards).collect();
+    rng.shuffle(&mut shard_order);
+    let mut out = vec![Vec::new(); clients];
+    for (pos, &shard) in shard_order.iter().enumerate() {
+        out[pos % clients].extend_from_slice(&shards[shard]);
+    }
+    Ok(out)
+}
+
+/// Dirichlet(α) label-skew partition: for each class, the class's samples
+/// are split across clients with proportions drawn from `Dirichlet(α)`.
+///
+/// Small `α` (≈0.1) gives extreme skew; large `α` (≥10) approaches IID.
+/// Standard in the heterogeneous-FL literature (HeteroFL, FedRolex);
+/// provided here for ablations beyond the paper's shard split.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] when `clients == 0`, `alpha`
+/// is not finite-positive, or a label exceeds `num_classes`.
+pub fn dirichlet(
+    labels: &[usize],
+    num_classes: usize,
+    clients: usize,
+    alpha: f64,
+    rng: &mut TensorRng,
+) -> Result<Vec<Vec<usize>>> {
+    if clients == 0 {
+        return Err(DataError::InvalidArgument {
+            what: "clients must be nonzero".into(),
+        });
+    }
+    if !(alpha.is_finite() && alpha > 0.0) {
+        return Err(DataError::InvalidArgument {
+            what: format!("alpha must be positive and finite, got {alpha}"),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+        return Err(DataError::LabelOutOfRange {
+            label: bad,
+            classes: num_classes,
+        });
+    }
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        per_class[l].push(i);
+    }
+    let mut out = vec![Vec::new(); clients];
+    for class_indices in per_class {
+        if class_indices.is_empty() {
+            continue;
+        }
+        let props = dirichlet_sample(alpha, clients, rng);
+        // Convert proportions into cumulative cut points over the class.
+        let n = class_indices.len();
+        let mut cuts = Vec::with_capacity(clients);
+        let mut acc = 0.0;
+        for &p in &props {
+            acc += p;
+            cuts.push(((acc * n as f64).round() as usize).min(n));
+        }
+        let mut start = 0;
+        for (client, &end) in cuts.iter().enumerate() {
+            if end > start {
+                out[client].extend_from_slice(&class_indices[start..end]);
+            }
+            start = start.max(end);
+        }
+    }
+    Ok(out)
+}
+
+/// Samples a point from the `Dirichlet(alpha)` simplex via normalized
+/// Gamma(alpha, 1) draws (Marsaglia–Tsang for α ≥ 1, boost for α < 1).
+fn dirichlet_sample(alpha: f64, k: usize, rng: &mut TensorRng) -> Vec<f64> {
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma_sample(alpha, rng)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate fallback: uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+fn gamma_sample(alpha: f64, rng: &mut TensorRng) -> f64 {
+    if alpha < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u = rng.unit_f64().max(f64::MIN_POSITIVE);
+        return gamma_sample(alpha + 1.0, rng) * u.powf(1.0 / alpha);
+    }
+    // Marsaglia–Tsang squeeze method.
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal_f64(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = rng.unit_f64();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+fn standard_normal_f64(rng: &mut TensorRng) -> f64 {
+    let u1 = rng.unit_f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.unit_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels_10_classes(n: usize) -> Vec<usize> {
+        (0..n).map(|i| i % 10).collect()
+    }
+
+    fn assert_partition_is_exact(shards: &[Vec<usize>], n: usize) {
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "must cover 0..n exactly once");
+    }
+
+    #[test]
+    fn iid_partition_is_balanced_and_exact() {
+        let mut rng = TensorRng::seed_from(0);
+        let shards = iid(103, 4, &mut rng);
+        assert_partition_is_exact(&shards, 103);
+        for s in &shards {
+            assert!(s.len() == 25 || s.len() == 26);
+        }
+    }
+
+    #[test]
+    fn iid_is_seeded_deterministic() {
+        let a = iid(50, 3, &mut TensorRng::seed_from(1));
+        let b = iid(50, 3, &mut TensorRng::seed_from(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn label_shards_partition_is_exact_and_skewed() {
+        let labels = labels_10_classes(400);
+        let mut rng = TensorRng::seed_from(2);
+        let shards = label_shards(&labels, 4, 2, &mut rng).unwrap();
+        assert_partition_is_exact(&shards, 400);
+        // With 8 shards over 10 sorted classes, each client sees few
+        // classes: count distinct labels per client.
+        for client in &shards {
+            let mut classes: Vec<usize> = client.iter().map(|&i| labels[i]).collect();
+            classes.sort_unstable();
+            classes.dedup();
+            assert!(
+                classes.len() <= 4,
+                "shard client saw {} classes, expected heavy skew",
+                classes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn label_shards_rejects_bad_arguments() {
+        let labels = labels_10_classes(10);
+        let mut rng = TensorRng::seed_from(0);
+        assert!(label_shards(&labels, 0, 2, &mut rng).is_err());
+        assert!(label_shards(&labels, 4, 0, &mut rng).is_err());
+        assert!(label_shards(&labels, 20, 2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn dirichlet_partition_is_exact() {
+        let labels = labels_10_classes(500);
+        let mut rng = TensorRng::seed_from(3);
+        let shards = dirichlet(&labels, 10, 5, 0.5, &mut rng).unwrap();
+        assert_partition_is_exact(&shards, 500);
+    }
+
+    #[test]
+    fn dirichlet_small_alpha_is_more_skewed_than_large() {
+        let labels = labels_10_classes(1000);
+        let skew = |alpha: f64, seed: u64| -> f64 {
+            let mut rng = TensorRng::seed_from(seed);
+            let shards = dirichlet(&labels, 10, 5, alpha, &mut rng).unwrap();
+            // Mean over clients of (max class share).
+            shards
+                .iter()
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    let mut counts = [0usize; 10];
+                    for &i in s.iter() {
+                        counts[labels[i]] += 1;
+                    }
+                    *counts.iter().max().unwrap() as f64 / s.len() as f64
+                })
+                .sum::<f64>()
+                / shards.len() as f64
+        };
+        // Average over several seeds to avoid flakiness.
+        let small: f64 = (0..5).map(|s| skew(0.1, s)).sum::<f64>() / 5.0;
+        let large: f64 = (0..5).map(|s| skew(100.0, s)).sum::<f64>() / 5.0;
+        assert!(
+            small > large + 0.1,
+            "alpha=0.1 skew {small} should exceed alpha=100 skew {large}"
+        );
+    }
+
+    #[test]
+    fn dirichlet_rejects_bad_arguments() {
+        let labels = labels_10_classes(10);
+        let mut rng = TensorRng::seed_from(0);
+        assert!(dirichlet(&labels, 10, 0, 1.0, &mut rng).is_err());
+        assert!(dirichlet(&labels, 10, 2, 0.0, &mut rng).is_err());
+        assert!(dirichlet(&labels, 10, 2, f64::NAN, &mut rng).is_err());
+        assert!(dirichlet(&labels, 5, 2, 1.0, &mut rng).is_err(), "label 9 out of range");
+    }
+
+    #[test]
+    fn gamma_sampler_has_plausible_mean() {
+        // Gamma(k, 1) has mean k.
+        let mut rng = TensorRng::seed_from(7);
+        for &alpha in &[0.5f64, 1.0, 3.0] {
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| gamma_sample(alpha, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - alpha).abs() < 0.15 * alpha.max(1.0),
+                "gamma({alpha}) mean {mean}"
+            );
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Asynchronous baselines: plain async FL and AFO (staleness-aware
+//! asynchronous federated optimization).
+
+use crate::{
+    aggregate, FlEnv, FlError, MaskedUpdate, Result, RoundRecord, RunMetrics, Strategy,
+};
+use helios_device::SimTime;
+
+/// Computes each straggler's update period: how many capable-device
+/// aggregation cycles fit into one straggler training cycle.
+fn natural_periods(
+    env: &FlEnv,
+    straggler_ids: &[usize],
+    cycle_duration: SimTime,
+) -> Result<Vec<usize>> {
+    straggler_ids
+        .iter()
+        .map(|&i| {
+            let t = env.client(i)?.cycle_time().as_secs_f64();
+            let d = cycle_duration.as_secs_f64();
+            Ok(if d <= 0.0 {
+                1
+            } else {
+                (t / d).ceil().max(1.0) as usize
+            })
+        })
+        .collect()
+}
+
+fn capable_cycle_duration(env: &FlEnv, straggler_ids: &[usize]) -> Result<SimTime> {
+    let mut d = SimTime::ZERO;
+    for i in 0..env.num_clients() {
+        if straggler_ids.contains(&i) {
+            continue;
+        }
+        d = d.max(env.client(i)?.cycle_time());
+    }
+    Ok(d)
+}
+
+fn validate_stragglers(env: &FlEnv, straggler_ids: &[usize]) -> Result<()> {
+    for &i in straggler_ids {
+        if i >= env.num_clients() {
+            return Err(FlError::UnknownClient {
+                client: i,
+                num_clients: env.num_clients(),
+            });
+        }
+    }
+    if straggler_ids.len() >= env.num_clients() {
+        return Err(FlError::InvalidStrategyConfig {
+            what: "at least one capable device is required".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Plain asynchronous FL — the paper's "Asyn. FL" baseline.
+///
+/// Capable devices aggregate every cycle; each straggler's update arrives
+/// only every `k` cycles (its training time divided by the capable cycle
+/// time) and is computed from the *stale* global model it downloaded `k`
+/// cycles earlier. Stale parameters are averaged in directly, which is
+/// precisely the information-degradation failure mode the paper's Fig 2
+/// demonstrates.
+#[derive(Debug, Clone)]
+pub struct AsyncFl {
+    straggler_ids: Vec<usize>,
+    fixed_period: Option<usize>,
+}
+
+impl AsyncFl {
+    /// Async FL whose straggler periods derive from the cost model.
+    pub fn new(straggler_ids: Vec<usize>) -> Self {
+        AsyncFl {
+            straggler_ids,
+            fixed_period: None,
+        }
+    }
+
+    /// Async FL with a forced straggler period — the paper's Fig 2
+    /// settings aggregate the straggler every 2 or every 3 epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn with_fixed_period(straggler_ids: Vec<usize>, period: usize) -> Self {
+        assert!(period > 0, "period must be nonzero");
+        AsyncFl {
+            straggler_ids,
+            fixed_period: Some(period),
+        }
+    }
+}
+
+impl Strategy for AsyncFl {
+    fn name(&self) -> &str {
+        "async_fl"
+    }
+
+    fn run(&mut self, env: &mut FlEnv, cycles: usize) -> Result<RunMetrics> {
+        validate_stragglers(env, &self.straggler_ids)?;
+        let mut metrics = RunMetrics::new(self.name());
+        // Full model everywhere: async methods do not shrink models.
+        for i in 0..env.num_clients() {
+            env.client_mut(i)?.set_masks(None)?;
+        }
+        let cycle_duration = capable_cycle_duration(env, &self.straggler_ids)?;
+        let periods = match self.fixed_period {
+            Some(p) => vec![p; self.straggler_ids.len()],
+            None => natural_periods(env, &self.straggler_ids, cycle_duration)?,
+        };
+        // Stragglers download the initial global at cycle 0.
+        for &i in &self.straggler_ids {
+            env.send_global_to(i, 0)?;
+        }
+        for cycle in 0..cycles {
+            // Fresh global to capable devices only.
+            for i in 0..env.num_clients() {
+                if !self.straggler_ids.contains(&i) {
+                    env.send_global_to(i, cycle)?;
+                }
+            }
+            let mut updates = Vec::new();
+            for i in 0..env.num_clients() {
+                if !self.straggler_ids.contains(&i) {
+                    updates.push(env.client_mut(i)?.train_local()?);
+                }
+            }
+            // Straggler arrivals: their update lands every `period` cycles
+            // and was computed from the global they downloaded last.
+            let mut arrivals = Vec::new();
+            for (s, &i) in self.straggler_ids.iter().enumerate() {
+                if (cycle + 1) % periods[s] == 0 {
+                    arrivals.push(i);
+                    updates.push(env.client_mut(i)?.train_local()?);
+                }
+            }
+            let mut global = env.global().to_vec();
+            let masked: Vec<MaskedUpdate<'_>> = updates
+                .iter()
+                .map(|u| MaskedUpdate {
+                    params: &u.params,
+                    param_mask: u.param_mask.as_deref(),
+                    weight: u.num_samples as f64,
+                })
+                .collect();
+            aggregate(&mut global, &masked);
+            env.set_global(global);
+            // Arrived stragglers re-download the fresh global.
+            for &i in &arrivals {
+                env.send_global_to(i, cycle + 1)?;
+            }
+            env.advance_clock(cycle_duration);
+            let (test_loss, test_accuracy) = env.evaluate_global()?;
+            metrics.push(RoundRecord {
+                cycle,
+                sim_time: env.clock().now(),
+                test_accuracy,
+                test_loss,
+                participants: updates.len(),
+                comm_bytes: crate::cycle_comm_bytes(&updates),
+            });
+        }
+        Ok(metrics)
+    }
+}
+
+/// AFO — asynchronous federated optimization with staleness-decayed
+/// server-side mixing (Xie et al., the paper's strongest asynchronous
+/// baseline \[6\]).
+///
+/// Capable updates are FedAvg-combined and mixed into the global model
+/// with rate `alpha`; each straggler arrival is mixed individually with
+/// `alpha · (1 + staleness)^(−decay)`, so stale updates move the global
+/// model less — reducing, but not eliminating, the staleness damage.
+#[derive(Debug, Clone)]
+pub struct Afo {
+    straggler_ids: Vec<usize>,
+    alpha: f64,
+    decay: f64,
+}
+
+impl Afo {
+    /// AFO with the customary mixing rate 0.6 and polynomial staleness
+    /// exponent 0.5.
+    pub fn new(straggler_ids: Vec<usize>) -> Self {
+        Afo {
+            straggler_ids,
+            alpha: 0.6,
+            decay: 0.5,
+        }
+    }
+
+    /// Overrides the mixing hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or `decay` is negative.
+    pub fn with_mixing(straggler_ids: Vec<usize>, alpha: f64, decay: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(decay >= 0.0, "decay must be non-negative");
+        Afo {
+            straggler_ids,
+            alpha,
+            decay,
+        }
+    }
+
+    fn mix(global: &mut [f32], update: &[f32], rate: f64) {
+        for (g, &u) in global.iter_mut().zip(update) {
+            *g = ((1.0 - rate) * *g as f64 + rate * u as f64) as f32;
+        }
+    }
+}
+
+impl Strategy for Afo {
+    fn name(&self) -> &str {
+        "afo"
+    }
+
+    fn run(&mut self, env: &mut FlEnv, cycles: usize) -> Result<RunMetrics> {
+        validate_stragglers(env, &self.straggler_ids)?;
+        let mut metrics = RunMetrics::new(self.name());
+        for i in 0..env.num_clients() {
+            env.client_mut(i)?.set_masks(None)?;
+        }
+        let cycle_duration = capable_cycle_duration(env, &self.straggler_ids)?;
+        let periods = natural_periods(env, &self.straggler_ids, cycle_duration)?;
+        for &i in &self.straggler_ids {
+            env.send_global_to(i, 0)?;
+        }
+        for cycle in 0..cycles {
+            for i in 0..env.num_clients() {
+                if !self.straggler_ids.contains(&i) {
+                    env.send_global_to(i, cycle)?;
+                }
+            }
+            // Fresh capable updates, FedAvg-combined then mixed at alpha.
+            let mut fresh = Vec::new();
+            for i in 0..env.num_clients() {
+                if !self.straggler_ids.contains(&i) {
+                    fresh.push(env.client_mut(i)?.train_local()?);
+                }
+            }
+            let mut participants = fresh.len();
+            let mut combined = env.global().to_vec();
+            let masked: Vec<MaskedUpdate<'_>> = fresh
+                .iter()
+                .map(|u| MaskedUpdate {
+                    params: &u.params,
+                    param_mask: None,
+                    weight: u.num_samples as f64,
+                })
+                .collect();
+            aggregate(&mut combined, &masked);
+            let mut global = env.global().to_vec();
+            Self::mix(&mut global, &combined, self.alpha);
+            // Straggler arrivals mixed individually with decayed rate.
+            for (s, &i) in self.straggler_ids.iter().enumerate() {
+                if (cycle + 1) % periods[s] == 0 {
+                    let update = env.client_mut(i)?.train_local()?;
+                    let staleness = cycle.saturating_sub(update.based_on_cycle) as f64;
+                    let rate = self.alpha * (1.0 + staleness).powf(-self.decay);
+                    Self::mix(&mut global, &update.params, rate);
+                    participants += 1;
+                    env.set_global(global.clone());
+                    env.send_global_to(i, cycle + 1)?;
+                    global = env.global().to_vec();
+                }
+            }
+            env.set_global(global);
+            env.advance_clock(cycle_duration);
+            let (test_loss, test_accuracy) = env.evaluate_global()?;
+            // Every participant exchanged a full model this cycle.
+            let full = env.global().len();
+            metrics.push(RoundRecord {
+                cycle,
+                sim_time: env.clock().now(),
+                test_accuracy,
+                test_loss,
+                participants,
+                comm_bytes: (participants * full * 8) as f64,
+            });
+        }
+        Ok(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlConfig, SyncFedAvg};
+    use helios_data::{partition, Dataset, SyntheticVision};
+    use helios_device::presets;
+    use helios_nn::models::ModelKind;
+    use helios_tensor::TensorRng;
+
+    fn env(capable: usize, stragglers: usize, seed: u64) -> FlEnv {
+        let mut rng = TensorRng::seed_from(seed);
+        let clients = capable + stragglers;
+        let (train, test) = SyntheticVision::mnist_like()
+            .generate(60 * clients, 60, &mut rng)
+            .unwrap();
+        let shards: Vec<Dataset> = partition::iid(train.len(), clients, &mut rng)
+            .into_iter()
+            .map(|idx| train.subset(&idx).unwrap())
+            .collect();
+        FlEnv::new(
+            ModelKind::LeNet,
+            presets::mixed_fleet(capable, stragglers),
+            shards,
+            test,
+            FlConfig {
+                seed,
+                ..FlConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn async_is_faster_per_cycle_than_sync() {
+        let mut sync_env = env(1, 1, 21);
+        let mut async_env = env(1, 1, 21);
+        let ms = SyncFedAvg::new().run(&mut sync_env, 4).unwrap();
+        let ma = AsyncFl::new(vec![1]).run(&mut async_env, 4).unwrap();
+        assert!(
+            ma.total_time().as_secs_f64() < 0.5 * ms.total_time().as_secs_f64(),
+            "async cycles shouldn't wait for stragglers: {} vs {}",
+            ma.total_time(),
+            ms.total_time()
+        );
+    }
+
+    #[test]
+    fn straggler_participates_only_at_period_boundaries() {
+        let mut e = env(1, 1, 22);
+        let m = AsyncFl::with_fixed_period(vec![1], 3)
+            .run(&mut e, 6)
+            .unwrap();
+        let parts: Vec<usize> = m.records().iter().map(|r| r.participants).collect();
+        assert_eq!(parts, vec![1, 1, 2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn async_validates_straggler_ids() {
+        let mut e = env(1, 1, 23);
+        assert!(AsyncFl::new(vec![5]).run(&mut e, 1).is_err());
+        assert!(AsyncFl::new(vec![0, 1]).run(&mut e, 1).is_err());
+    }
+
+    #[test]
+    fn afo_converges_and_is_deterministic() {
+        let mut a = env(1, 1, 24);
+        let mut b = env(1, 1, 24);
+        let ma = Afo::new(vec![1]).run(&mut a, 6).unwrap();
+        let mb = Afo::new(vec![1]).run(&mut b, 6).unwrap();
+        assert_eq!(ma.records(), mb.records());
+        assert!(ma.best_accuracy() > 0.3);
+    }
+
+    #[test]
+    fn afo_mix_is_convex_combination() {
+        let mut g = vec![0.0f32, 2.0];
+        Afo::mix(&mut g, &[1.0, 0.0], 0.5);
+        assert_eq!(g, vec![0.5, 1.0]);
+        Afo::mix(&mut g, &[0.5, 1.0], 1.0);
+        assert_eq!(g, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn afo_rejects_bad_alpha() {
+        let _ = Afo::with_mixing(vec![1], 0.0, 0.5);
+    }
+
+    #[test]
+    fn longer_fixed_period_hurts_accuracy() {
+        // Fig 2's qualitative claim: aggregating the straggler less often
+        // (period 3 vs 2) degrades converged accuracy. Averaged over two
+        // seeds for robustness.
+        let acc = |period: usize| -> f64 {
+            let mut total = 0.0;
+            for seed in [25u64, 26] {
+                let mut e = env(1, 1, seed);
+                let m = AsyncFl::with_fixed_period(vec![1], period)
+                    .run(&mut e, 12)
+                    .unwrap();
+                total += m.tail_accuracy(3);
+            }
+            total / 2.0
+        };
+        let p2 = acc(2);
+        let p3 = acc(3);
+        assert!(
+            p2 >= p3 - 0.02,
+            "period 2 ({p2:.3}) should not lose clearly to period 3 ({p3:.3})"
+        );
+    }
+}

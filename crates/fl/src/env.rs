@@ -1,0 +1,394 @@
+//! The shared experimental environment a strategy runs against.
+
+use crate::{Client, FlError, Result};
+use helios_data::Dataset;
+use helios_device::{ResourceProfile, SimClock, SimTime};
+use helios_nn::models::ModelKind;
+use helios_nn::{CrossEntropyLoss, Network};
+use helios_tensor::TensorRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters shared by every strategy run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Mini-batch size for local training.
+    pub batch_size: usize,
+    /// Local epochs per aggregation cycle.
+    pub local_epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Batch size used for test-set evaluation.
+    pub eval_batch: usize,
+    /// Master seed; model init, client shuffling, and strategy randomness
+    /// all derive from it, making runs bit-reproducible.
+    pub seed: u64,
+    /// Maps the scaled experiment models' analytic FLOPs/memory to the
+    /// magnitude of the paper's full-size models (32×32 inputs, full
+    /// channel counts, full datasets), so `W/C_cpu` dominates the cost
+    /// formula as in Table I. Affects only *simulated* time, never the
+    /// learned parameters.
+    pub workload_scale: f64,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        FlConfig {
+            batch_size: 16,
+            local_epochs: 1,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            eval_batch: 64,
+            seed: 42,
+            workload_scale: 2000.0,
+        }
+    }
+}
+
+/// The full experimental setup: a fleet of [`Client`]s, the held-out test
+/// set, the global parameter vector, and the simulated clock.
+///
+/// One `FlEnv` hosts one strategy run; construct a fresh environment (same
+/// seed) per strategy to compare them from identical initial conditions.
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct FlEnv {
+    clients: Vec<Client>,
+    test_set: Dataset,
+    eval_net: Network,
+    global: Vec<f32>,
+    clock: SimClock,
+    config: FlConfig,
+}
+
+impl FlEnv {
+    /// Builds an environment: one client per `(profile, shard)` pair, all
+    /// starting from the same seeded model initialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::FleetMismatch`] when profile and shard counts
+    /// differ, or [`FlError::InvalidStrategyConfig`] for an empty fleet.
+    pub fn new(
+        model: ModelKind,
+        fleet: Vec<ResourceProfile>,
+        shards: Vec<Dataset>,
+        test_set: Dataset,
+        config: FlConfig,
+    ) -> Result<Self> {
+        if fleet.len() != shards.len() {
+            return Err(FlError::FleetMismatch {
+                profiles: fleet.len(),
+                shards: shards.len(),
+            });
+        }
+        if fleet.is_empty() {
+            return Err(FlError::InvalidStrategyConfig {
+                what: "fleet must not be empty".into(),
+            });
+        }
+        let num_classes = test_set.num_classes();
+        let mut master_rng = TensorRng::seed_from(config.seed);
+        let template = model.build(num_classes, &mut master_rng);
+        let global = template.param_vector();
+        let clients = fleet
+            .into_iter()
+            .zip(shards)
+            .enumerate()
+            .map(|(id, (profile, shard))| {
+                Client::new(
+                    id,
+                    template.clone(),
+                    shard,
+                    profile,
+                    config.learning_rate,
+                    config.momentum,
+                    config.batch_size,
+                    config.local_epochs,
+                    config.workload_scale,
+                    master_rng.split(),
+                )
+            })
+            .collect();
+        Ok(FlEnv {
+            clients,
+            test_set,
+            eval_net: template,
+            global,
+            clock: SimClock::new(),
+            config,
+        })
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &FlConfig {
+        &self.config
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Immutable client access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::UnknownClient`] for an out-of-range index.
+    pub fn client(&self, i: usize) -> Result<&Client> {
+        self.clients.get(i).ok_or(FlError::UnknownClient {
+            client: i,
+            num_clients: self.clients.len(),
+        })
+    }
+
+    /// Mutable client access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::UnknownClient`] for an out-of-range index.
+    pub fn client_mut(&mut self, i: usize) -> Result<&mut Client> {
+        let n = self.clients.len();
+        self.clients.get_mut(i).ok_or(FlError::UnknownClient {
+            client: i,
+            num_clients: n,
+        })
+    }
+
+    /// Iterates the fleet.
+    pub fn clients(&self) -> impl Iterator<Item = &Client> {
+        self.clients.iter()
+    }
+
+    /// Iterates the fleet mutably.
+    pub fn clients_mut(&mut self) -> impl Iterator<Item = &mut Client> {
+        self.clients.iter_mut()
+    }
+
+    /// Adds a device mid-run (the paper's §VI.C dynamic-join scenario) and
+    /// returns its client index. The newcomer starts from the current
+    /// global model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-length errors (impossible unless the dataset
+    /// class count disagrees with the architecture).
+    pub fn join_client(&mut self, profile: ResourceProfile, shard: Dataset) -> Result<usize> {
+        let id = self.clients.len();
+        let mut rng = TensorRng::seed_from(
+            self.config.seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(id as u64 + 1)),
+        );
+        let mut client = Client::new(
+            id,
+            self.eval_net.clone(),
+            shard,
+            profile,
+            self.config.learning_rate,
+            self.config.momentum,
+            self.config.batch_size,
+            self.config.local_epochs,
+            self.config.workload_scale,
+            rng.split(),
+        );
+        client.receive_global(&self.global, 0)?;
+        self.clients.push(client);
+        Ok(id)
+    }
+
+    /// The current global parameter vector.
+    pub fn global(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// Replaces the global parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length changes — the architecture is fixed per
+    /// environment.
+    pub fn set_global(&mut self, params: Vec<f32>) {
+        assert_eq!(
+            params.len(),
+            self.global.len(),
+            "global parameter length must not change"
+        );
+        self.global = params;
+    }
+
+    /// Sends the current global model to every client, tagging it with the
+    /// producing cycle for staleness accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-length errors (impossible under normal use).
+    pub fn broadcast_global(&mut self, cycle: usize) -> Result<()> {
+        let global = self.global.clone();
+        for c in &mut self.clients {
+            c.receive_global(&global, cycle)?;
+        }
+        Ok(())
+    }
+
+    /// Sends the current global model to one client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::UnknownClient`] for an out-of-range index.
+    pub fn send_global_to(&mut self, client: usize, cycle: usize) -> Result<()> {
+        let global = self.global.clone();
+        self.client_mut(client)?.receive_global(&global, cycle)
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Advances the simulated clock.
+    pub fn advance_clock(&mut self, span: SimTime) {
+        self.clock.advance(span);
+    }
+
+    /// Evaluates the current global model on the held-out test set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (impossible under normal use).
+    pub fn evaluate_global(&mut self) -> Result<(f64, f64)> {
+        self.eval_net.set_param_vector(&self.global)?;
+        self.eval_net.clear_masks();
+        let loss_fn = CrossEntropyLoss::new();
+        let mut correct = 0usize;
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for (x, y) in self.test_set.batches(self.config.eval_batch) {
+            let logits = self.eval_net.forward(&x)?;
+            loss_sum += loss_fn.forward(&logits, &y)? as f64;
+            let pred = logits.argmax_rows().map_err(helios_nn::NnError::from)?;
+            correct += pred.iter().zip(&y).filter(|(p, l)| p == l).count();
+            batches += 1;
+        }
+        let n = self.test_set.len().max(1);
+        Ok((
+            loss_sum / batches.max(1) as f64,
+            correct as f64 / n as f64,
+        ))
+    }
+
+    /// The held-out test set.
+    pub fn test_set(&self) -> &Dataset {
+        &self.test_set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_data::{partition, SyntheticVision};
+    use helios_device::presets;
+
+    fn small_env(seed: u64) -> FlEnv {
+        let mut rng = TensorRng::seed_from(9);
+        let (train, test) = SyntheticVision::mnist_like()
+            .generate(60, 40, &mut rng)
+            .unwrap();
+        let shards: Vec<Dataset> = partition::iid(train.len(), 2, &mut rng)
+            .into_iter()
+            .map(|idx| train.subset(&idx).unwrap())
+            .collect();
+        FlEnv::new(
+            ModelKind::LeNet,
+            presets::mixed_fleet(1, 1),
+            shards,
+            test,
+            FlConfig {
+                seed,
+                ..FlConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_fleet() {
+        let mut rng = TensorRng::seed_from(0);
+        let (train, test) = SyntheticVision::mnist_like()
+            .generate(20, 10, &mut rng)
+            .unwrap();
+        let err = FlEnv::new(
+            ModelKind::LeNet,
+            presets::mixed_fleet(1, 1),
+            vec![train],
+            test.clone(),
+            FlConfig::default(),
+        );
+        assert!(matches!(err, Err(FlError::FleetMismatch { .. })));
+        let err = FlEnv::new(ModelKind::LeNet, vec![], vec![], test, FlConfig::default());
+        assert!(matches!(
+            err,
+            Err(FlError::InvalidStrategyConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn clients_start_from_identical_global() {
+        let env = small_env(1);
+        let g = env.global().to_vec();
+        for c in env.clients() {
+            assert_eq!(c.network().param_vector(), g);
+        }
+    }
+
+    #[test]
+    fn same_seed_envs_are_identical() {
+        let a = small_env(5);
+        let b = small_env(5);
+        assert_eq!(a.global(), b.global());
+        let c = small_env(6);
+        assert_ne!(a.global(), c.global());
+    }
+
+    #[test]
+    fn broadcast_and_evaluate() {
+        let mut env = small_env(2);
+        env.broadcast_global(3).unwrap();
+        let (loss, acc) = env.evaluate_global().unwrap();
+        assert!(loss > 0.0);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn join_client_receives_global() {
+        let mut env = small_env(3);
+        let mut rng = TensorRng::seed_from(77);
+        let (extra, _) = SyntheticVision::mnist_like()
+            .generate(20, 0, &mut rng)
+            .unwrap();
+        let id = env
+            .join_client(presets::raspberry_pi(), extra)
+            .unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(env.num_clients(), 3);
+        assert_eq!(
+            env.client(id).unwrap().network().param_vector(),
+            env.global()
+        );
+    }
+
+    #[test]
+    fn unknown_client_errors() {
+        let env = small_env(4);
+        assert!(matches!(
+            env.client(9),
+            Err(FlError::UnknownClient { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "global parameter length")]
+    fn set_global_rejects_length_change() {
+        let mut env = small_env(4);
+        env.set_global(vec![0.0; 3]);
+    }
+}

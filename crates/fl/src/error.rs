@@ -1,0 +1,102 @@
+//! Error type for federated orchestration.
+
+use helios_data::DataError;
+use helios_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible federated-learning operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FlError {
+    /// A model operation failed on some client or the server.
+    Nn(NnError),
+    /// A dataset operation failed.
+    Data(DataError),
+    /// Client/shard/fleet counts are inconsistent.
+    FleetMismatch {
+        /// Number of device profiles supplied.
+        profiles: usize,
+        /// Number of data shards supplied.
+        shards: usize,
+    },
+    /// A client index was out of range.
+    UnknownClient {
+        /// The offending index.
+        client: usize,
+        /// Number of clients in the environment.
+        num_clients: usize,
+    },
+    /// A strategy was configured inconsistently.
+    InvalidStrategyConfig {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::Nn(e) => write!(f, "model operation failed: {e}"),
+            FlError::Data(e) => write!(f, "dataset operation failed: {e}"),
+            FlError::FleetMismatch { profiles, shards } => {
+                write!(f, "{profiles} device profiles but {shards} data shards")
+            }
+            FlError::UnknownClient {
+                client,
+                num_clients,
+            } => write!(f, "client {client} out of range for {num_clients} clients"),
+            FlError::InvalidStrategyConfig { what } => {
+                write!(f, "invalid strategy configuration: {what}")
+            }
+        }
+    }
+}
+
+impl Error for FlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlError::Nn(e) => Some(e),
+            FlError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for FlError {
+    fn from(e: NnError) -> Self {
+        FlError::Nn(e)
+    }
+}
+
+impl From<DataError> for FlError {
+    fn from(e: DataError) -> Self {
+        FlError::Data(e)
+    }
+}
+
+impl From<helios_tensor::TensorError> for FlError {
+    fn from(e: helios_tensor::TensorError) -> Self {
+        FlError::Nn(NnError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = FlError::FleetMismatch {
+            profiles: 2,
+            shards: 3,
+        };
+        assert!(e.to_string().contains("2 device profiles"));
+        assert!(e.source().is_none());
+        let e = FlError::from(NnError::ParamLengthMismatch {
+            expected: 1,
+            actual: 2,
+        });
+        assert!(e.source().is_some());
+    }
+}

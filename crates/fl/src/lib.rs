@@ -1,0 +1,84 @@
+//! Federated-learning orchestration engine and baseline strategies for
+//! the Helios reproduction.
+//!
+//! This crate provides the simulation substrate every experiment runs on:
+//!
+//! - [`Client`] — a simulated edge device owning a model replica, a local
+//!   data shard, an optimizer, and a [`ResourceProfile`]; its training
+//!   cycle time comes from the paper's analytic cost model, honouring any
+//!   neuron masks currently installed (a masked sub-model is cheaper and
+//!   therefore faster);
+//! - [`FlEnv`] — the shared experimental setup (clients, test set, global
+//!   parameter vector, simulated clock);
+//! - [`aggregate`] — masked weighted parameter averaging, the primitive
+//!   under every aggregation rule in the paper;
+//! - the four baseline strategies of §VII.A: [`SyncFedAvg`] (Syn. FL),
+//!   [`AsyncFl`] (Asyn. FL), [`Afo`] (asynchronous federated optimization
+//!   with staleness-decayed mixing), and [`RandomPartial`] (random
+//!   sub-model selection per Caldas et al.);
+//! - [`RunMetrics`] — accuracy-vs-cycle and accuracy-vs-simulated-time
+//!   curves plus the derived quantities the paper reports (cycles to
+//!   target accuracy, wall-clock speedup).
+//!
+//! The Helios strategy itself lives in the `helios-core` crate and plugs
+//! into the same [`Strategy`] interface.
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! use helios_data::{partition, SyntheticVision};
+//! use helios_device::presets;
+//! use helios_fl::{FlConfig, FlEnv, Strategy, SyncFedAvg};
+//! use helios_nn::models::ModelKind;
+//! use helios_tensor::TensorRng;
+//!
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let mut rng = TensorRng::seed_from(0);
+//! let (train, test) = SyntheticVision::mnist_like().generate(80, 40, &mut rng)?;
+//! let shards = partition::iid(train.len(), 2, &mut rng)
+//!     .into_iter()
+//!     .map(|idx| train.subset(&idx))
+//!     .collect::<Result<Vec<_>, _>>()?;
+//! let env = FlEnv::new(
+//!     ModelKind::LeNet,
+//!     presets::mixed_fleet(1, 1),
+//!     shards,
+//!     test,
+//!     FlConfig::default(),
+//! )?;
+//! let mut env = env;
+//! let metrics = SyncFedAvg::new().run(&mut env, 2)?;
+//! assert_eq!(metrics.records().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asynchronous;
+mod client;
+mod env;
+mod error;
+mod metrics;
+mod random_partial;
+mod server;
+mod strategy;
+mod sync;
+
+pub use asynchronous::{Afo, AsyncFl};
+pub use client::{Client, LocalUpdate, DEFAULT_MEMORY_SCALE, GRAD_CLIP_NORM};
+pub use env::{FlConfig, FlEnv};
+pub use error::FlError;
+pub use metrics::{RoundRecord, RunMetrics};
+pub use random_partial::{random_mask, RandomPartial};
+pub use server::{aggregate, cycle_comm_bytes, MaskedUpdate};
+pub use strategy::Strategy;
+pub use sync::SyncFedAvg;
+
+#[doc(no_inline)]
+pub use helios_device::ResourceProfile;
+
+/// Crate-wide result alias carrying an [`FlError`].
+pub type Result<T> = std::result::Result<T, FlError>;

@@ -1,0 +1,246 @@
+//! Run metrics: the curves and summary statistics the paper reports.
+
+use helios_device::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// State of the collaboration after one aggregation cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Aggregation cycle index (of the *capable* devices, matching the
+    /// X-axis of the paper's Fig 5).
+    pub cycle: usize,
+    /// Simulated time at the end of the cycle.
+    pub sim_time: SimTime,
+    /// Global-model accuracy on the held-out test set.
+    pub test_accuracy: f64,
+    /// Global-model loss on the held-out test set.
+    pub test_loss: f64,
+    /// Number of client updates aggregated this cycle.
+    pub participants: usize,
+    /// Bytes exchanged with the server this cycle (uploads of trained
+    /// parameters plus full-model downloads).
+    pub comm_bytes: f64,
+}
+
+/// Full metrics of one strategy run.
+///
+/// # Example
+///
+/// ```
+/// use helios_device::SimTime;
+/// use helios_fl::{RoundRecord, RunMetrics};
+///
+/// let mut m = RunMetrics::new("probe");
+/// m.push(RoundRecord {
+///     cycle: 0,
+///     sim_time: SimTime::from_secs(10.0),
+///     test_accuracy: 0.5,
+///     test_loss: 1.0,
+///     participants: 4,
+///     comm_bytes: 1024.0,
+/// });
+/// assert_eq!(m.best_accuracy(), 0.5);
+/// assert!(m.cycles_to_reach(0.4).is_some());
+/// assert!(m.cycles_to_reach(0.9).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    strategy: String,
+    records: Vec<RoundRecord>,
+}
+
+impl RunMetrics {
+    /// Creates an empty metrics collection for a named strategy.
+    pub fn new(strategy: impl Into<String>) -> Self {
+        RunMetrics {
+            strategy: strategy.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Strategy name.
+    pub fn strategy(&self) -> &str {
+        &self.strategy
+    }
+
+    /// Appends one cycle record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in cycle order.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Accuracy after the final cycle (0 when empty).
+    pub fn final_accuracy(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.test_accuracy)
+    }
+
+    /// Best accuracy over the run (0 when empty).
+    pub fn best_accuracy(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.test_accuracy)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean accuracy over the last `k` cycles — the "converged accuracy"
+    /// the paper compares, robust to single-cycle fluctuation.
+    pub fn tail_accuracy(&self, k: usize) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let start = self.records.len().saturating_sub(k.max(1));
+        let tail = &self.records[start..];
+        tail.iter().map(|r| r.test_accuracy).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Standard deviation of accuracy over the last `k` cycles (the
+    /// fluctuation Fig 6 contrasts between Helios and S.T.-only).
+    pub fn tail_accuracy_std(&self, k: usize) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let start = self.records.len().saturating_sub(k.max(1));
+        let tail = &self.records[start..];
+        let mean = tail.iter().map(|r| r.test_accuracy).sum::<f64>() / tail.len() as f64;
+        let var = tail
+            .iter()
+            .map(|r| (r.test_accuracy - mean).powi(2))
+            .sum::<f64>()
+            / tail.len() as f64;
+        var.sqrt()
+    }
+
+    /// First cycle whose accuracy reaches `target`, if any.
+    pub fn cycles_to_reach(&self, target: f64) -> Option<usize> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy >= target)
+            .map(|r| r.cycle)
+    }
+
+    /// Simulated time at which accuracy first reaches `target`, if ever.
+    pub fn time_to_reach(&self, target: f64) -> Option<SimTime> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy >= target)
+            .map(|r| r.sim_time)
+    }
+
+    /// Total simulated time of the run.
+    pub fn total_time(&self) -> SimTime {
+        self.records.last().map_or(SimTime::ZERO, |r| r.sim_time)
+    }
+
+    /// Speedup of this run over `other` in reaching `target` accuracy
+    /// (simulated-time ratio `other / self`). `None` when either run never
+    /// reaches the target.
+    pub fn speedup_over(&self, other: &RunMetrics, target: f64) -> Option<f64> {
+        let mine = self.time_to_reach(target)?.as_secs_f64();
+        let theirs = other.time_to_reach(target)?.as_secs_f64();
+        if mine <= 0.0 {
+            return None;
+        }
+        Some(theirs / mine)
+    }
+
+    /// Total bytes exchanged with the server over the run.
+    pub fn total_comm_bytes(&self) -> f64 {
+        self.records.iter().map(|r| r.comm_bytes).sum()
+    }
+
+    /// Renders the run as CSV
+    /// (`cycle,sim_time_s,accuracy,loss,participants,comm_bytes`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle,sim_time_s,accuracy,loss,participants,comm_bytes\n");
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{},{:.3},{:.4},{:.4},{},{:.0}",
+                r.cycle,
+                r.sim_time.as_secs_f64(),
+                r.test_accuracy,
+                r.test_loss,
+                r.participants,
+                r.comm_bytes
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cycle: usize, secs: f64, acc: f64) -> RoundRecord {
+        RoundRecord {
+            cycle,
+            sim_time: SimTime::from_secs(secs),
+            test_accuracy: acc,
+            test_loss: 1.0 - acc,
+            participants: 2,
+            comm_bytes: 100.0,
+        }
+    }
+
+    fn sample_run() -> RunMetrics {
+        let mut m = RunMetrics::new("s");
+        m.push(record(0, 10.0, 0.3));
+        m.push(record(1, 20.0, 0.6));
+        m.push(record(2, 30.0, 0.5));
+        m.push(record(3, 40.0, 0.7));
+        m
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let m = sample_run();
+        assert_eq!(m.final_accuracy(), 0.7);
+        assert_eq!(m.best_accuracy(), 0.7);
+        assert!((m.tail_accuracy(2) - 0.6).abs() < 1e-12);
+        assert!(m.tail_accuracy_std(2) > 0.0);
+        assert_eq!(m.total_time().as_secs_f64(), 40.0);
+    }
+
+    #[test]
+    fn target_search() {
+        let m = sample_run();
+        assert_eq!(m.cycles_to_reach(0.55), Some(1));
+        assert_eq!(m.time_to_reach(0.55).unwrap().as_secs_f64(), 20.0);
+        assert_eq!(m.cycles_to_reach(0.95), None);
+    }
+
+    #[test]
+    fn speedup_is_a_time_ratio() {
+        let fast = sample_run();
+        let mut slow = RunMetrics::new("slow");
+        slow.push(record(0, 100.0, 0.7));
+        assert!((fast.speedup_over(&slow, 0.55).unwrap() - 5.0).abs() < 1e-12);
+        assert!(fast.speedup_over(&slow, 0.99).is_none());
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = RunMetrics::new("empty");
+        assert_eq!(m.final_accuracy(), 0.0);
+        assert_eq!(m.best_accuracy(), 0.0);
+        assert_eq!(m.tail_accuracy(5), 0.0);
+        assert_eq!(m.total_time(), SimTime::ZERO);
+        assert!(m.cycles_to_reach(0.1).is_none());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample_run().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("cycle,"));
+        assert!(lines[0].ends_with("comm_bytes"));
+        assert!(lines[1].starts_with("0,10.000,0.3000"));
+    }
+}

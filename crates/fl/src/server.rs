@@ -1,0 +1,255 @@
+//! Masked weighted parameter aggregation — the primitive under FedAvg,
+//! partial-model averaging, and Helios's heterogeneity-weighted rule.
+
+use crate::LocalUpdate;
+
+/// Bytes exchanged with the server for a set of updates in one cycle:
+/// each participant uploads 4 bytes per *trained* parameter (soft-trained
+/// stragglers upload only their selected neurons) and downloads the full
+/// model.
+pub fn cycle_comm_bytes(updates: &[LocalUpdate]) -> f64 {
+    updates
+        .iter()
+        .map(|u| {
+            let uploaded = match &u.param_mask {
+                Some(m) => m.iter().filter(|&&b| b).count(),
+                None => u.params.len(),
+            };
+            ((uploaded + u.params.len()) * 4) as f64
+        })
+        .sum()
+}
+
+/// One client contribution to an aggregation step.
+#[derive(Debug, Clone)]
+pub struct MaskedUpdate<'a> {
+    /// The client's full parameter vector after local training.
+    pub params: &'a [f32],
+    /// Which entries actually trained (`None` = all).
+    pub param_mask: Option<&'a [bool]>,
+    /// Aggregation weight (need not be normalized; normalization happens
+    /// per-parameter over the contributors that cover it).
+    pub weight: f64,
+}
+
+/// Weighted per-parameter averaging with partial coverage.
+///
+/// For every parameter index, the new global value is the weighted mean of
+/// the contributions whose mask covers that index. Indices no client
+/// trained keep their previous global value — exactly the paper's rule
+/// that skipped neurons "maintain their contribution" in the global model
+/// rather than being dragged toward stale replicas.
+///
+/// # Panics
+///
+/// Panics if any update's `params` (or mask) length differs from
+/// `global.len()`, or a weight is negative/non-finite — both indicate
+/// programming errors in the calling strategy.
+///
+/// # Example
+///
+/// ```
+/// use helios_fl::{aggregate, MaskedUpdate};
+///
+/// let mut global = vec![0.0f32, 10.0];
+/// let a = [2.0f32, 2.0];
+/// let mask = [true, false];
+/// aggregate(
+///     &mut global,
+///     &[MaskedUpdate { params: &a, param_mask: Some(&mask), weight: 1.0 }],
+/// );
+/// assert_eq!(global, vec![2.0, 10.0]); // index 1 untouched
+/// ```
+pub fn aggregate(global: &mut [f32], updates: &[MaskedUpdate<'_>]) {
+    for u in updates {
+        assert_eq!(
+            u.params.len(),
+            global.len(),
+            "update length {} vs global {}",
+            u.params.len(),
+            global.len()
+        );
+        if let Some(m) = u.param_mask {
+            assert_eq!(m.len(), global.len(), "mask length mismatch");
+        }
+        assert!(
+            u.weight.is_finite() && u.weight >= 0.0,
+            "weight must be non-negative and finite, got {}",
+            u.weight
+        );
+    }
+    let n = global.len();
+    let mut acc = vec![0.0f64; n];
+    let mut wsum = vec![0.0f64; n];
+    for u in updates {
+        match u.param_mask {
+            None => {
+                for i in 0..n {
+                    acc[i] += u.weight * u.params[i] as f64;
+                    wsum[i] += u.weight;
+                }
+            }
+            Some(mask) => {
+                for i in 0..n {
+                    if mask[i] {
+                        acc[i] += u.weight * u.params[i] as f64;
+                        wsum[i] += u.weight;
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        if wsum[i] > 0.0 {
+            global[i] = (acc[i] / wsum[i]) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(params: Vec<f32>, mask: Option<Vec<bool>>) -> LocalUpdate {
+        LocalUpdate {
+            client: 0,
+            params,
+            param_mask: mask,
+            train_loss: 0.0,
+            num_samples: 1,
+            keep_ratio: 1.0,
+            based_on_cycle: 0,
+        }
+    }
+
+    #[test]
+    fn comm_bytes_counts_uploads_and_downloads() {
+        // Full update of 10 params: upload 40 B + download 40 B.
+        let full = update(vec![0.0; 10], None);
+        assert_eq!(cycle_comm_bytes(std::slice::from_ref(&full)), 80.0);
+        // Half-masked update: upload 20 B + download 40 B.
+        let half = update(vec![0.0; 10], Some((0..10).map(|i| i % 2 == 0).collect()));
+        assert_eq!(cycle_comm_bytes(std::slice::from_ref(&half)), 60.0);
+        // Sums over participants.
+        assert_eq!(cycle_comm_bytes(&[full, half]), 140.0);
+        assert_eq!(cycle_comm_bytes(&[]), 0.0);
+    }
+
+    #[test]
+    fn unmasked_average_is_plain_weighted_mean() {
+        let mut global = vec![0.0f32; 3];
+        let a = [1.0f32, 1.0, 1.0];
+        let b = [4.0f32, 4.0, 4.0];
+        aggregate(
+            &mut global,
+            &[
+                MaskedUpdate {
+                    params: &a,
+                    param_mask: None,
+                    weight: 1.0,
+                },
+                MaskedUpdate {
+                    params: &b,
+                    param_mask: None,
+                    weight: 2.0,
+                },
+            ],
+        );
+        for &g in &global {
+            assert!((g - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uncovered_indices_keep_global_value() {
+        let mut global = vec![7.0f32, 7.0];
+        let a = [1.0f32, 99.0];
+        let mask = [true, false];
+        aggregate(
+            &mut global,
+            &[MaskedUpdate {
+                params: &a,
+                param_mask: Some(&mask),
+                weight: 5.0,
+            }],
+        );
+        assert_eq!(global, vec![1.0, 7.0]);
+    }
+
+    #[test]
+    fn partial_overlap_normalizes_per_index() {
+        let mut global = vec![0.0f32, 0.0];
+        let a = [2.0f32, 2.0];
+        let b = [6.0f32, 6.0];
+        let mask_b = [false, true];
+        aggregate(
+            &mut global,
+            &[
+                MaskedUpdate {
+                    params: &a,
+                    param_mask: None,
+                    weight: 1.0,
+                },
+                MaskedUpdate {
+                    params: &b,
+                    param_mask: Some(&mask_b),
+                    weight: 1.0,
+                },
+            ],
+        );
+        assert_eq!(global[0], 2.0, "only a covers index 0");
+        assert_eq!(global[1], 4.0, "a and b average at index 1");
+    }
+
+    #[test]
+    fn zero_weight_update_is_ignored() {
+        let mut global = vec![1.0f32];
+        let a = [100.0f32];
+        aggregate(
+            &mut global,
+            &[MaskedUpdate {
+                params: &a,
+                param_mask: None,
+                weight: 0.0,
+            }],
+        );
+        assert_eq!(global, vec![1.0]);
+    }
+
+    #[test]
+    fn empty_update_set_is_identity() {
+        let mut global = vec![3.0f32, 4.0];
+        aggregate(&mut global, &[]);
+        assert_eq!(global, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "update length")]
+    fn length_mismatch_panics() {
+        let mut global = vec![0.0f32; 2];
+        let a = [1.0f32];
+        aggregate(
+            &mut global,
+            &[MaskedUpdate {
+                params: &a,
+                param_mask: None,
+                weight: 1.0,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be non-negative")]
+    fn bad_weight_panics() {
+        let mut global = vec![0.0f32];
+        let a = [1.0f32];
+        aggregate(
+            &mut global,
+            &[MaskedUpdate {
+                params: &a,
+                param_mask: None,
+                weight: f64::NAN,
+            }],
+        );
+    }
+}

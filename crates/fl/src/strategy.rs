@@ -1,0 +1,27 @@
+//! The [`Strategy`] interface every collaboration scheme implements.
+
+use crate::{FlEnv, Result, RunMetrics};
+
+/// A federated collaboration scheme: given a fresh environment, runs a
+/// number of aggregation cycles and reports the resulting metrics.
+///
+/// Implemented by the four baselines in this crate ([`crate::SyncFedAvg`],
+/// [`crate::AsyncFl`], [`crate::Afo`], [`crate::RandomPartial`]) and by
+/// `helios_core::HeliosStrategy`.
+///
+/// The trait is object-safe so experiment harnesses can sweep over
+/// `Vec<Box<dyn Strategy>>`.
+pub trait Strategy {
+    /// Short machine-friendly name (used in metrics and CSV output).
+    fn name(&self) -> &str;
+
+    /// Runs `cycles` aggregation cycles of the capable devices against
+    /// `env`, which the strategy mutates freely (clients, global model,
+    /// clock).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a model or dataset operation fails; the
+    /// environment state is unspecified afterwards.
+    fn run(&mut self, env: &mut FlEnv, cycles: usize) -> Result<RunMetrics>;
+}

@@ -1,0 +1,226 @@
+//! Straggler identification (§IV.B): time-based approximation and
+//! resource-based profiling.
+
+use crate::{HeliosError, Result};
+use helios_device::{CostModel, ResourceProfile, SimTime, TrainingWorkload};
+use helios_fl::FlEnv;
+
+/// A device's rank entry in the time index `T` of the paper: devices
+/// sorted by test-bench time, longest first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeIndexEntry {
+    /// Client index.
+    pub client: usize,
+    /// Measured (simulated) test-bench duration.
+    pub time: SimTime,
+}
+
+/// Runs the lightweight test bench of the *time-based approximation*
+/// (black box): every device "trains a few iterations" and reports its
+/// duration. In the simulation the measurement comes from the analytic
+/// cost model applied to `iterations` mini-batches of the device's model
+/// under its current mask state (full model during identification).
+///
+/// Returns the paper's index `T`: entries sorted by time, longest first.
+///
+/// # Errors
+///
+/// Returns an error when a client is missing (impossible under normal
+/// use).
+pub fn test_bench_index(env: &FlEnv, iterations: usize) -> Result<Vec<TimeIndexEntry>> {
+    let mut entries = Vec::with_capacity(env.num_clients());
+    for i in 0..env.num_clients() {
+        let client = env.client(i).map_err(HeliosError::from)?;
+        // One full cycle covers `batches × epochs` iterations; scale to
+        // the requested bench length.
+        let full = client.cycle_workload();
+        let batches = client
+            .num_samples()
+            .div_ceil(env.config().batch_size)
+            .max(1)
+            * env.config().local_epochs;
+        let frac = iterations as f64 / batches as f64;
+        let bench = full.scaled(frac.clamp(f64::MIN_POSITIVE, 1.0));
+        entries.push(TimeIndexEntry {
+            client: i,
+            time: CostModel::time_for(client.profile(), &bench),
+        });
+    }
+    entries.sort_by(|a, b| {
+        b.time
+            .partial_cmp(&a.time)
+            .expect("simulated times are finite")
+    });
+    Ok(entries)
+}
+
+/// *Time-based approximation*: the top-`k` devices of the time index are
+/// declared potential stragglers.
+///
+/// # Errors
+///
+/// Returns [`HeliosError::Identification`] when `k` is zero or not
+/// smaller than the fleet (at least one capable device must remain).
+pub fn time_based(env: &FlEnv, iterations: usize, k: usize) -> Result<Vec<usize>> {
+    if k == 0 {
+        return Err(HeliosError::Identification {
+            what: "top-k must be nonzero".into(),
+        });
+    }
+    if k >= env.num_clients() {
+        return Err(HeliosError::Identification {
+            what: format!(
+                "top-{k} of {} devices leaves no capable device",
+                env.num_clients()
+            ),
+        });
+    }
+    let index = test_bench_index(env, iterations)?;
+    let mut ids: Vec<usize> = index.iter().take(k).map(|e| e.client).collect();
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// *Resource-based profiling* (white box): evaluates the full cost model
+/// on every device's [`ResourceProfile`] and declares stragglers to be the
+/// devices more than `slowdown_threshold` times slower than the fastest
+/// device on the same workload.
+///
+/// # Errors
+///
+/// Returns [`HeliosError::Identification`] when the threshold is not
+/// greater than 1, or when every device would be a straggler.
+pub fn resource_based(
+    profiles: &[&ResourceProfile],
+    workload: &TrainingWorkload,
+    slowdown_threshold: f64,
+) -> Result<Vec<usize>> {
+    if !(slowdown_threshold > 1.0 && slowdown_threshold.is_finite()) {
+        return Err(HeliosError::Identification {
+            what: format!("slowdown threshold {slowdown_threshold} must exceed 1"),
+        });
+    }
+    if profiles.is_empty() {
+        return Err(HeliosError::Identification {
+            what: "empty fleet".into(),
+        });
+    }
+    let times: Vec<f64> = profiles
+        .iter()
+        .map(|p| CostModel::time_for(p, workload).as_secs_f64())
+        .collect();
+    let fastest = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let stragglers: Vec<usize> = times
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t > slowdown_threshold * fastest)
+        .map(|(i, _)| i)
+        .collect();
+    if stragglers.len() == profiles.len() {
+        return Err(HeliosError::Identification {
+            what: "every device classified as straggler".into(),
+        });
+    }
+    Ok(stragglers)
+}
+
+/// Convenience wrapper: resource-based identification over an
+/// environment's fleet, using client 0's full-model cycle workload as the
+/// common reference workload.
+///
+/// # Errors
+///
+/// Same conditions as [`resource_based`].
+pub fn resource_based_env(env: &FlEnv, slowdown_threshold: f64) -> Result<Vec<usize>> {
+    let workload = env
+        .client(0)
+        .map_err(HeliosError::from)?
+        .cycle_workload();
+    let profiles: Vec<&ResourceProfile> = (0..env.num_clients())
+        .map(|i| env.client(i).map(|c| c.profile()))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(HeliosError::from)?;
+    resource_based(&profiles, &workload, slowdown_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_data::{partition, Dataset, SyntheticVision};
+    use helios_device::presets;
+    use helios_fl::FlConfig;
+    use helios_nn::models::ModelKind;
+    use helios_tensor::TensorRng;
+
+    fn env(capable: usize, stragglers: usize) -> FlEnv {
+        let mut rng = TensorRng::seed_from(50);
+        let clients = capable + stragglers;
+        let (train, test) = SyntheticVision::mnist_like()
+            .generate(40 * clients, 20, &mut rng)
+            .unwrap();
+        let shards: Vec<Dataset> = partition::iid(train.len(), clients, &mut rng)
+            .into_iter()
+            .map(|idx| train.subset(&idx).unwrap())
+            .collect();
+        FlEnv::new(
+            ModelKind::LeNet,
+            presets::mixed_fleet(capable, stragglers),
+            shards,
+            test,
+            FlConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn test_bench_ranks_stragglers_first() {
+        let e = env(2, 2);
+        let index = test_bench_index(&e, 2).unwrap();
+        assert_eq!(index.len(), 4);
+        // mixed_fleet puts capable devices first (ids 0, 1), stragglers
+        // after (ids 2, 3); the index must lead with the stragglers.
+        assert!(index[0].client >= 2);
+        assert!(index[1].client >= 2);
+        assert!(index[0].time >= index[1].time);
+    }
+
+    #[test]
+    fn time_based_returns_top_k_sorted() {
+        let e = env(2, 2);
+        assert_eq!(time_based(&e, 2, 2).unwrap(), vec![2, 3]);
+        assert_eq!(time_based(&e, 2, 1).unwrap().len(), 1);
+        assert!(time_based(&e, 2, 0).is_err());
+        assert!(time_based(&e, 2, 4).is_err());
+    }
+
+    #[test]
+    fn resource_based_finds_slow_profiles() {
+        let capable = presets::jetson_nano();
+        let s1 = presets::deeplens_cpu();
+        let s2 = presets::raspberry_pi();
+        let work = TrainingWorkload::new(1e12, 1e9, 1e6);
+        let ids =
+            resource_based(&[&capable, &s1, &s2], &work, 1.5).unwrap();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn resource_based_validates_threshold_and_fleet() {
+        let capable = presets::jetson_nano();
+        let work = TrainingWorkload::new(1e12, 1e9, 1e6);
+        assert!(resource_based(&[&capable], &work, 1.0).is_err());
+        assert!(resource_based(&[], &work, 2.0).is_err());
+        // Homogeneous fleet: nobody is a straggler.
+        let same = presets::jetson_nano();
+        let ids = resource_based(&[&capable, &same], &work, 1.5).unwrap();
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn both_methods_agree_on_mixed_fleet() {
+        let e = env(2, 2);
+        let by_time = time_based(&e, 2, 2).unwrap();
+        let by_resource = resource_based_env(&e, 1.5).unwrap();
+        assert_eq!(by_time, by_resource);
+    }
+}

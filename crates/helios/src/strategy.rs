@@ -1,0 +1,590 @@
+//! [`HeliosStrategy`]: the full pipeline packaged as a drop-in
+//! [`helios_fl::Strategy`].
+
+use crate::softtrain::{contributions_from_delta, Contributions, SoftTrainer};
+use crate::{aggregation, identify, target, HeliosError, Result};
+use helios_device::SimTime;
+use helios_fl::{aggregate, FlEnv, MaskedUpdate, RoundRecord, RunMetrics, Strategy};
+use helios_tensor::TensorRng;
+use std::collections::HashMap;
+
+/// How stragglers are identified (§IV.B).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Identification {
+    /// Black box: rank devices by a lightweight test-bench timing and take
+    /// the top `k`.
+    TimeBased {
+        /// Mini-batch iterations of the test bench.
+        iterations: usize,
+        /// Number of devices to declare stragglers.
+        top_k: usize,
+    },
+    /// White box: evaluate the cost model on each device's resource
+    /// profile; stragglers are devices slower than `slowdown_threshold`
+    /// times the fastest device.
+    ResourceBased {
+        /// Slowdown factor above which a device is a straggler (> 1).
+        slowdown_threshold: f64,
+    },
+}
+
+/// How each straggler's expected model volume is determined (§IV.C).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VolumePolicy {
+    /// Assign from a predefined ladder, slowest straggler first.
+    Predefined(Vec<f64>),
+    /// Fit the largest volume meeting the capable devices' pace and the
+    /// device memory budget, via the cost model.
+    ResourceFitted,
+}
+
+/// How straggler updates enter the global average (§V.A Step 3 + §VI.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregationMode {
+    /// Full parameter vectors averaged with heterogeneity weights
+    /// `α_n = r_n/Σr_n` (Eq 10) composed with sample counts. Masked
+    /// entries carry the straggler's received global values, so the
+    /// average stays anchored ("maintains a complete model parameter
+    /// updating", §III) while fuller models dominate — the paper's
+    /// default Helios behaviour.
+    FullWeighted,
+    /// Full parameter vectors averaged with plain FedAvg sample weights —
+    /// the paper's "S.T. Only" ablation (Fig 6): partial models drag the
+    /// global model equally, causing the fluctuation the figure shows.
+    FullPlain,
+    /// Only uploaded (actually trained) neurons enter the average,
+    /// α-weighted and normalized per parameter. More aggressive than the
+    /// paper's rule; exposed for ablation studies.
+    MaskedWeighted,
+}
+
+/// Configuration of the Helios pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeliosConfig {
+    /// Straggler identification method.
+    pub identification: Identification,
+    /// Volume determination policy.
+    pub volume: VolumePolicy,
+    /// Fraction of each straggler's kept set reserved for top-contribution
+    /// neurons (the paper selects 0.05–0.1, §VI.A).
+    pub p_s: f64,
+    /// The §VI.B aggregation rule (see [`AggregationMode`]).
+    pub aggregation: AggregationMode,
+    /// Enable the §VI.A skip-cycle regulator.
+    pub regulation: bool,
+    /// Number of initial cycles during which straggler volumes are
+    /// dynamically adjusted toward the capable pace (§V.A Step 1:
+    /// "Helios needs first few training cycles to finalize the stragglers
+    /// and model volumes"). `0` disables adjustment.
+    pub dynamic_volume_cycles: usize,
+}
+
+impl Default for HeliosConfig {
+    fn default() -> Self {
+        HeliosConfig {
+            identification: Identification::ResourceBased {
+                slowdown_threshold: 1.5,
+            },
+            volume: VolumePolicy::ResourceFitted,
+            p_s: 0.1,
+            aggregation: AggregationMode::FullWeighted,
+            regulation: true,
+            dynamic_volume_cycles: 5,
+        }
+    }
+}
+
+impl HeliosConfig {
+    /// The paper's "S.T. Only" ablation: soft-training without the
+    /// heterogeneous aggregation optimization (Fig 6 baseline).
+    pub fn soft_training_only() -> Self {
+        HeliosConfig {
+            aggregation: AggregationMode::FullPlain,
+            ..HeliosConfig::default()
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.p_s) {
+            return Err(HeliosError::InvalidConfig {
+                what: format!("P_s {} outside [0, 1]", self.p_s),
+            });
+        }
+        if let VolumePolicy::Predefined(levels) = &self.volume {
+            if levels.is_empty() {
+                return Err(HeliosError::InvalidConfig {
+                    what: "predefined volume ladder is empty".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The Helios federated-learning strategy (the paper's Fig 3 pipeline).
+///
+/// See the crate-level example for an end-to-end run.
+#[derive(Debug, Clone)]
+pub struct HeliosStrategy {
+    config: HeliosConfig,
+    stragglers: Vec<usize>,
+    trainers: HashMap<usize, SoftTrainer>,
+    contributions: HashMap<usize, Contributions>,
+    deadline: SimTime,
+    initialized: bool,
+}
+
+impl HeliosStrategy {
+    /// Creates the strategy.
+    pub fn new(config: HeliosConfig) -> Self {
+        HeliosStrategy {
+            config,
+            stragglers: Vec::new(),
+            trainers: HashMap::new(),
+            contributions: HashMap::new(),
+            deadline: SimTime::ZERO,
+            initialized: false,
+        }
+    }
+
+    /// The identified straggler client ids (sorted), available after
+    /// initialization.
+    pub fn stragglers(&self) -> &[usize] {
+        &self.stragglers
+    }
+
+    /// The current expected model volume of a straggler, if it is one.
+    pub fn keep_ratio(&self, client: usize) -> Option<f64> {
+        self.trainers.get(&client).map(|t| t.keep())
+    }
+
+    /// The capable-pace deadline the stragglers are fitted to.
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+
+    /// Runs identification and target determination against `env`
+    /// (idempotent; [`Strategy::run`] calls it automatically).
+    ///
+    /// # Errors
+    ///
+    /// Returns identification or volume-fitting errors.
+    pub fn initialize(&mut self, env: &mut FlEnv) -> Result<()> {
+        if self.initialized {
+            return Ok(());
+        }
+        self.config.validate()?;
+        // 1. Straggler identification, ranked slowest first.
+        let ranked: Vec<usize> = match &self.config.identification {
+            Identification::TimeBased { iterations, top_k } => {
+                let index = identify::test_bench_index(env, *iterations)?;
+                index.iter().take(*top_k).map(|e| e.client).collect()
+            }
+            Identification::ResourceBased { slowdown_threshold } => {
+                let ids = identify::resource_based_env(env, *slowdown_threshold)?;
+                // Rank by full-model cycle time, slowest first.
+                let mut ranked = ids;
+                let mut times: Vec<(usize, f64)> = Vec::new();
+                for &i in &ranked {
+                    times.push((i, env.client(i)?.cycle_time().as_secs_f64()));
+                }
+                times.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                ranked = times.into_iter().map(|(i, _)| i).collect();
+                ranked
+            }
+        };
+        // 2. Capable pace = slowest capable device at full volume.
+        let mut deadline = SimTime::ZERO;
+        for i in 0..env.num_clients() {
+            if !ranked.contains(&i) {
+                deadline = deadline.max(env.client(i)?.cycle_time());
+            }
+        }
+        self.deadline = deadline;
+        // 3. Volume determination + soft-trainer construction.
+        let mut rng = TensorRng::seed_from(env.config().seed ^ 0x48454c49); // "HELI"
+        let volumes: Vec<(usize, f64)> = match &self.config.volume {
+            VolumePolicy::Predefined(levels) => target::assign_predefined(&ranked, levels)?,
+            VolumePolicy::ResourceFitted => {
+                let mut out = Vec::with_capacity(ranked.len());
+                for &i in &ranked {
+                    let keep = target::fitted_keep_ratio(env.client_mut(i)?, deadline)?;
+                    out.push((i, keep));
+                }
+                out
+            }
+        };
+        for (client, keep) in volumes {
+            let units = env.client_mut(client)?.network_mut().maskable_units();
+            let trainer = SoftTrainer::new(
+                units,
+                keep,
+                self.config.p_s,
+                self.config.regulation,
+                rng.split(),
+            )?;
+            self.trainers.insert(client, trainer);
+        }
+        self.stragglers = ranked;
+        self.stragglers.sort_unstable();
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Admits a device that joins mid-collaboration (§VI.C): classifies it
+    /// against the capable pace, assigns a volume if it is a straggler,
+    /// and returns its client index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when called before initialization, or when volume
+    /// fitting fails.
+    pub fn admit_device(
+        &mut self,
+        env: &mut FlEnv,
+        profile: helios_device::ResourceProfile,
+        shard: helios_data::Dataset,
+    ) -> Result<usize> {
+        if !self.initialized {
+            return Err(HeliosError::InvalidConfig {
+                what: "admit_device requires an initialized strategy".into(),
+            });
+        }
+        let id = env.join_client(profile, shard).map_err(HeliosError::from)?;
+        let full_time = env.client(id)?.cycle_time();
+        if full_time.as_secs_f64() > 1.05 * self.deadline.as_secs_f64() {
+            let keep = match &self.config.volume {
+                VolumePolicy::Predefined(levels) => *levels.last().expect("validated non-empty"),
+                VolumePolicy::ResourceFitted => {
+                    target::fitted_keep_ratio(env.client_mut(id)?, self.deadline)?
+                }
+            };
+            let units = env.client_mut(id)?.network_mut().maskable_units();
+            let trainer = SoftTrainer::new(
+                units,
+                keep,
+                self.config.p_s,
+                self.config.regulation,
+                TensorRng::seed_from(env.config().seed ^ (id as u64) << 8),
+            )?;
+            self.trainers.insert(id, trainer);
+            self.stragglers.push(id);
+            self.stragglers.sort_unstable();
+        }
+        Ok(id)
+    }
+
+    fn run_cycle(
+        &mut self,
+        env: &mut FlEnv,
+        cycle: usize,
+        metrics: &mut RunMetrics,
+    ) -> Result<()> {
+        env.broadcast_global(cycle).map_err(HeliosError::from)?;
+        let received_global = env.global().to_vec();
+        // Install this cycle's masks.
+        for i in 0..env.num_clients() {
+            if let Some(trainer) = self.trainers.get_mut(&i) {
+                let mask = trainer.next_mask(self.contributions.get(&i));
+                trainer.observe(&mask);
+                env.client_mut(i)?.set_masks(Some(mask))?;
+            } else {
+                env.client_mut(i)?.set_masks(None)?;
+            }
+        }
+        // Local training; the synchronous cycle lasts as long as the
+        // slowest participant (soft-training keeps stragglers near the
+        // capable pace).
+        let mut updates = Vec::with_capacity(env.num_clients());
+        let mut cycle_time = SimTime::ZERO;
+        for i in 0..env.num_clients() {
+            let client = env.client_mut(i)?;
+            cycle_time = cycle_time.max(client.cycle_time());
+            updates.push(client.train_local()?);
+        }
+        // Refresh contribution values U (Eq 1) for the next selection.
+        for u in &updates {
+            if self.trainers.contains_key(&u.client) {
+                let client = env.client_mut(u.client)?;
+                let layout = client.network_mut().layout();
+                let units = client.network_mut().maskable_units();
+                let c = contributions_from_delta(&layout, &units, &received_global, &u.params);
+                self.contributions.insert(u.client, c);
+            }
+        }
+        // §VI.B model aggregation (see AggregationMode).
+        let weighted = self.config.aggregation != AggregationMode::FullPlain;
+        let weights: Vec<f64> = if weighted {
+            let ratios: Vec<f64> = updates.iter().map(|u| u.keep_ratio).collect();
+            let samples: Vec<usize> = updates.iter().map(|u| u.num_samples).collect();
+            aggregation::combined_weights(&ratios, &samples)
+        } else {
+            updates.iter().map(|u| u.num_samples as f64).collect()
+        };
+        let masked_upload = self.config.aggregation == AggregationMode::MaskedWeighted;
+        let mut global = env.global().to_vec();
+        let masked: Vec<MaskedUpdate<'_>> = updates
+            .iter()
+            .zip(&weights)
+            .map(|(u, &w)| MaskedUpdate {
+                params: &u.params,
+                param_mask: if masked_upload {
+                    u.param_mask.as_deref()
+                } else {
+                    None
+                },
+                weight: w,
+            })
+            .collect();
+        aggregate(&mut global, &masked);
+        env.set_global(global);
+        env.advance_clock(cycle_time);
+        // Dynamic volume adjustment toward the capable pace, during the
+        // settling window only.
+        if cycle < self.config.dynamic_volume_cycles {
+            let deadline = self.deadline;
+            for i in 0..env.num_clients() {
+                if let Some(trainer) = self.trainers.get_mut(&i) {
+                    let masked_time = env.client(i)?.cycle_time();
+                    let next = target::adjust_keep_ratio(trainer.keep(), masked_time, deadline);
+                    if (next - trainer.keep()).abs() > 1e-9 {
+                        trainer.set_keep(next)?;
+                    }
+                }
+            }
+        }
+        let (test_loss, test_accuracy) = env.evaluate_global().map_err(HeliosError::from)?;
+        metrics.push(RoundRecord {
+            cycle,
+            sim_time: env.clock().now(),
+            test_accuracy,
+            test_loss,
+            participants: updates.len(),
+            comm_bytes: helios_fl::cycle_comm_bytes(&updates),
+        });
+        Ok(())
+    }
+}
+
+impl Strategy for HeliosStrategy {
+    fn name(&self) -> &str {
+        match self.config.aggregation {
+            AggregationMode::FullWeighted => "helios",
+            AggregationMode::FullPlain => "helios_st_only",
+            AggregationMode::MaskedWeighted => "helios_masked",
+        }
+    }
+
+    fn run(&mut self, env: &mut FlEnv, cycles: usize) -> helios_fl::Result<RunMetrics> {
+        let mut metrics = RunMetrics::new(self.name());
+        self.initialize(env).map_err(to_fl_error)?;
+        for cycle in 0..cycles {
+            self.run_cycle(env, cycle, &mut metrics)
+                .map_err(to_fl_error)?;
+        }
+        Ok(metrics)
+    }
+}
+
+/// Adapts Helios errors onto the `helios_fl` error type so
+/// [`HeliosStrategy`] satisfies the shared [`Strategy`] signature.
+fn to_fl_error(e: HeliosError) -> helios_fl::FlError {
+    match e {
+        HeliosError::Fl(inner) => inner,
+        other => helios_fl::FlError::InvalidStrategyConfig {
+            what: other.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_data::{partition, Dataset, SyntheticVision};
+    use helios_device::presets;
+    use helios_fl::{FlConfig, SyncFedAvg};
+    use helios_nn::models::ModelKind;
+
+    fn env(capable: usize, stragglers: usize, seed: u64) -> FlEnv {
+        let mut rng = TensorRng::seed_from(seed);
+        let clients = capable + stragglers;
+        let (train, test) = SyntheticVision::mnist_like()
+            .generate(60 * clients, 60, &mut rng)
+            .unwrap();
+        let shards: Vec<Dataset> = partition::iid(train.len(), clients, &mut rng)
+            .into_iter()
+            .map(|idx| train.subset(&idx).unwrap())
+            .collect();
+        FlEnv::new(
+            ModelKind::LeNet,
+            presets::mixed_fleet(capable, stragglers),
+            shards,
+            test,
+            FlConfig {
+                seed,
+                ..FlConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn initialization_finds_stragglers_and_volumes() {
+        let mut e = env(2, 2, 70);
+        let mut h = HeliosStrategy::new(HeliosConfig::default());
+        h.initialize(&mut e).unwrap();
+        assert_eq!(h.stragglers(), &[2, 3]);
+        for &s in &[2usize, 3] {
+            let keep = h.keep_ratio(s).unwrap();
+            assert!(keep < 1.0, "straggler {s} keep {keep} should shrink");
+            assert!(keep >= target::MIN_KEEP_RATIO);
+        }
+        assert!(h.keep_ratio(0).is_none());
+        assert!(h.deadline() > SimTime::ZERO);
+        // Idempotent.
+        let before = h.stragglers().to_vec();
+        h.initialize(&mut e).unwrap();
+        assert_eq!(h.stragglers(), &before[..]);
+    }
+
+    #[test]
+    fn helios_keeps_pace_with_capable_devices() {
+        let mut e = env(1, 1, 71);
+        let mut sync_env = env(1, 1, 71);
+        let mh = HeliosStrategy::new(HeliosConfig::default())
+            .run(&mut e, 4)
+            .unwrap();
+        let ms = SyncFedAvg::new().run(&mut sync_env, 4).unwrap();
+        assert!(
+            mh.total_time().as_secs_f64() < 0.5 * ms.total_time().as_secs_f64(),
+            "helios {} should be much faster than sync {}",
+            mh.total_time(),
+            ms.total_time()
+        );
+    }
+
+    #[test]
+    fn helios_learns() {
+        let mut e = env(1, 1, 72);
+        let m = HeliosStrategy::new(HeliosConfig::default())
+            .run(&mut e, 8)
+            .unwrap();
+        assert!(m.best_accuracy() > 0.45, "accuracy {}", m.best_accuracy());
+    }
+
+    #[test]
+    fn st_only_uses_plain_weights_and_different_name() {
+        let h = HeliosStrategy::new(HeliosConfig::soft_training_only());
+        assert_eq!(h.name(), "helios_st_only");
+        let h = HeliosStrategy::new(HeliosConfig::default());
+        assert_eq!(h.name(), "helios");
+    }
+
+    #[test]
+    fn time_based_identification_matches_resource_based() {
+        let mut e1 = env(2, 2, 73);
+        let mut e2 = env(2, 2, 73);
+        let mut a = HeliosStrategy::new(HeliosConfig {
+            identification: Identification::TimeBased {
+                iterations: 2,
+                top_k: 2,
+            },
+            ..HeliosConfig::default()
+        });
+        let mut b = HeliosStrategy::new(HeliosConfig::default());
+        a.initialize(&mut e1).unwrap();
+        b.initialize(&mut e2).unwrap();
+        assert_eq!(a.stragglers(), b.stragglers());
+    }
+
+    #[test]
+    fn predefined_volumes_are_applied() {
+        let mut e = env(2, 2, 74);
+        let mut h = HeliosStrategy::new(HeliosConfig {
+            volume: VolumePolicy::Predefined(vec![0.2, 0.4]),
+            dynamic_volume_cycles: 0,
+            ..HeliosConfig::default()
+        });
+        h.initialize(&mut e).unwrap();
+        // Slowest straggler (client 3, deeplens-like) gets 0.2.
+        let k2 = h.keep_ratio(2).unwrap();
+        let k3 = h.keep_ratio(3).unwrap();
+        assert!(k3 <= k2, "slowest gets smallest: {k3} vs {k2}");
+        assert!((k3 - 0.2).abs() < 1e-9 || (k2 - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_volume_reacts_to_pace() {
+        let mut e = env(1, 1, 75);
+        let mut h = HeliosStrategy::new(HeliosConfig {
+            volume: VolumePolicy::Predefined(vec![0.9]), // deliberately too big
+            ..HeliosConfig::default()
+        });
+        h.initialize(&mut e).unwrap();
+        let before = h.keep_ratio(1).unwrap();
+        let _ = h.run(&mut e, 3).unwrap();
+        let after = h.keep_ratio(1).unwrap();
+        assert!(
+            after < before,
+            "oversized volume should shrink: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn admit_device_classifies_newcomers() {
+        let mut e = env(1, 1, 76);
+        let mut h = HeliosStrategy::new(HeliosConfig::default());
+        // Must initialize first.
+        let mut rng = TensorRng::seed_from(99);
+        let (extra, _) = SyntheticVision::mnist_like()
+            .generate(30, 0, &mut rng)
+            .unwrap();
+        assert!(h
+            .admit_device(&mut e, presets::raspberry_pi(), extra.clone())
+            .is_err());
+        let _ = h.run(&mut e, 2).unwrap();
+        // A straggler-class newcomer gets a volume.
+        let id = h
+            .admit_device(&mut e, presets::raspberry_pi(), extra.clone())
+            .unwrap();
+        assert!(h.stragglers().contains(&id));
+        assert!(h.keep_ratio(id).unwrap() < 1.0);
+        // A capable-class newcomer does not.
+        let id2 = h
+            .admit_device(&mut e, presets::jetson_nano(), extra)
+            .unwrap();
+        assert!(!h.stragglers().contains(&id2));
+        assert!(h.keep_ratio(id2).is_none());
+        // The enlarged fleet still runs.
+        let m = h.run(&mut e, 2).unwrap();
+        assert_eq!(m.records().last().unwrap().participants, 4);
+    }
+
+    #[test]
+    fn helios_run_is_deterministic() {
+        let mut a = env(1, 1, 77);
+        let mut b = env(1, 1, 77);
+        let ma = HeliosStrategy::new(HeliosConfig::default())
+            .run(&mut a, 4)
+            .unwrap();
+        let mb = HeliosStrategy::new(HeliosConfig::default())
+            .run(&mut b, 4)
+            .unwrap();
+        assert_eq!(ma.records(), mb.records());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut e = env(1, 1, 78);
+        let mut h = HeliosStrategy::new(HeliosConfig {
+            p_s: 2.0,
+            ..HeliosConfig::default()
+        });
+        assert!(h.run(&mut e, 1).is_err());
+        let mut h = HeliosStrategy::new(HeliosConfig {
+            volume: VolumePolicy::Predefined(vec![]),
+            ..HeliosConfig::default()
+        });
+        assert!(h.run(&mut e, 1).is_err());
+    }
+}

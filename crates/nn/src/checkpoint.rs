@@ -1,0 +1,258 @@
+//! Model checkpointing: versioned binary serialization of a network's
+//! parameter vector.
+//!
+//! Federated deployments persist the global model between aggregation
+//! rounds and ship it across processes; this module provides the minimal
+//! stable wire format for that: a magic header, a format version, the
+//! architecture name (so a LeNet checkpoint is never restored into an
+//! AlexNet), and the little-endian `f32` parameter payload.
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! use helios_nn::{checkpoint, models};
+//! use helios_tensor::TensorRng;
+//!
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let mut net = models::lenet(10, &mut TensorRng::seed_from(0));
+//! let mut buf = Vec::new();
+//! checkpoint::save(&net, &mut buf)?;
+//! let restored = checkpoint::load(&mut buf.as_slice())?;
+//! assert_eq!(restored.architecture, "lenet");
+//! net.set_param_vector(&restored.params)?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::Network;
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every checkpoint.
+const MAGIC: &[u8; 8] = b"HELIOSCK";
+
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// A checkpoint restored by [`load`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Architecture name recorded at save time (e.g. `"lenet"`).
+    pub architecture: String,
+    /// The flat parameter vector in canonical order.
+    pub params: Vec<f32>,
+}
+
+/// Errors produced by checkpoint I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The stream does not start with the checkpoint magic.
+    BadMagic,
+    /// The format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// A length field is implausible (corrupt stream).
+    CorruptLength(u64),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a helios checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::CorruptLength(n) => {
+                write!(f, "implausible length field {n} (corrupt checkpoint)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Upper bound on plausible name/parameter lengths, guarding allocation
+/// against corrupt headers.
+const MAX_NAME: u64 = 4096;
+const MAX_PARAMS: u64 = 1 << 32;
+
+/// Serializes `net`'s parameters to `writer`.
+///
+/// A `&mut` reference can be passed for `writer` (e.g. `&mut Vec<u8>` or
+/// `&mut File`).
+///
+/// # Errors
+///
+/// Returns I/O errors from the writer.
+pub fn save<W: Write>(net: &Network, mut writer: W) -> Result<(), CheckpointError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    let name = net.name().as_bytes();
+    writer.write_all(&(name.len() as u64).to_le_bytes())?;
+    writer.write_all(name)?;
+    let params = net.param_vector();
+    writer.write_all(&(params.len() as u64).to_le_bytes())?;
+    for p in params {
+        writer.write_all(&p.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserializes a checkpoint from `reader`.
+///
+/// A `&mut` reference can be passed for `reader` (e.g. `&mut &[u8]` or
+/// `&mut File`).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadMagic`] /
+/// [`CheckpointError::UnsupportedVersion`] /
+/// [`CheckpointError::CorruptLength`] for malformed streams and I/O
+/// errors from the reader.
+pub fn load<R: Read>(mut reader: R) -> Result<Checkpoint, CheckpointError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut v = [0u8; 4];
+    reader.read_exact(&mut v)?;
+    let version = u32::from_le_bytes(v);
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let mut len8 = [0u8; 8];
+    reader.read_exact(&mut len8)?;
+    let name_len = u64::from_le_bytes(len8);
+    if name_len > MAX_NAME {
+        return Err(CheckpointError::CorruptLength(name_len));
+    }
+    let mut name = vec![0u8; name_len as usize];
+    reader.read_exact(&mut name)?;
+    let architecture = String::from_utf8_lossy(&name).into_owned();
+    reader.read_exact(&mut len8)?;
+    let param_len = u64::from_le_bytes(len8);
+    if param_len > MAX_PARAMS {
+        return Err(CheckpointError::CorruptLength(param_len));
+    }
+    let mut params = Vec::with_capacity(param_len as usize);
+    let mut f = [0u8; 4];
+    for _ in 0..param_len {
+        reader.read_exact(&mut f)?;
+        params.push(f32::from_le_bytes(f));
+    }
+    Ok(Checkpoint {
+        architecture,
+        params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use helios_tensor::TensorRng;
+
+    #[test]
+    fn round_trip_preserves_every_parameter() {
+        let mut rng = TensorRng::seed_from(1);
+        for net in [
+            models::lenet(10, &mut rng),
+            models::alexnet(10, &mut rng),
+            models::resnet18(100, &mut rng),
+        ] {
+            let mut buf = Vec::new();
+            save(&net, &mut buf).expect("save");
+            let ckpt = load(&mut buf.as_slice()).expect("load");
+            assert_eq!(ckpt.architecture, net.name());
+            assert_eq!(ckpt.params, net.param_vector());
+        }
+    }
+
+    #[test]
+    fn restored_params_install_into_fresh_network() {
+        let mut rng = TensorRng::seed_from(2);
+        let net = models::lenet(10, &mut rng);
+        let mut buf = Vec::new();
+        save(&net, &mut buf).expect("save");
+        let ckpt = load(&mut buf.as_slice()).expect("load");
+        let mut fresh = models::lenet(10, &mut TensorRng::seed_from(99));
+        assert_ne!(fresh.param_vector(), ckpt.params);
+        fresh.set_param_vector(&ckpt.params).expect("install");
+        assert_eq!(fresh.param_vector(), net.param_vector());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOTACKPT00000000".to_vec();
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut rng = TensorRng::seed_from(3);
+        let net = models::lenet(2, &mut rng);
+        let mut buf = Vec::new();
+        save(&net, &mut buf).expect("save");
+        buf[8] = 99; // bump the version field
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut rng = TensorRng::seed_from(4);
+        let net = models::lenet(2, &mut rng);
+        let mut buf = Vec::new();
+        save(&net, &mut buf).expect("save");
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_length_is_rejected_without_huge_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd name length
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(CheckpointError::CorruptLength(_))
+        ));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(CheckpointError::BadMagic.to_string().contains("magic"));
+        assert!(CheckpointError::UnsupportedVersion(7)
+            .to_string()
+            .contains('7'));
+        assert!(CheckpointError::CorruptLength(12)
+            .to_string()
+            .contains("12"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for network construction and training.
+
+use helios_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible network operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// `backward` was called before `forward` cached its inputs.
+    BackwardBeforeForward {
+        /// Layer that was asked to run backward.
+        layer: &'static str,
+    },
+    /// A mask's length does not match the layer's unit count.
+    MaskLengthMismatch {
+        /// Units in the layer.
+        units: usize,
+        /// Length of the supplied mask.
+        mask_len: usize,
+    },
+    /// A flat parameter vector has the wrong length for the network.
+    ParamLengthMismatch {
+        /// Parameters in the network.
+        expected: usize,
+        /// Length of the supplied vector.
+        actual: usize,
+    },
+    /// Label index exceeds the number of classes.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the logits cover.
+        classes: usize,
+    },
+    /// Batch sizes of logits and labels disagree.
+    BatchMismatch {
+        /// Rows of the logit matrix.
+        logits: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on {layer}")
+            }
+            NnError::MaskLengthMismatch { units, mask_len } => {
+                write!(f, "mask length {mask_len} does not match {units} units")
+            }
+            NnError::ParamLengthMismatch { expected, actual } => {
+                write!(f, "parameter vector length {actual}, network has {expected}")
+            }
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::BatchMismatch { logits, labels } => {
+                write!(f, "{logits} logit rows vs {labels} labels")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(TensorError::SizeMismatch {
+            elements: 1,
+            expected: 2,
+        });
+        assert!(e.to_string().contains("tensor operation failed"));
+        assert!(e.source().is_some());
+        let e2 = NnError::MaskLengthMismatch {
+            units: 4,
+            mask_len: 3,
+        };
+        assert!(e2.source().is_none());
+        assert!(!e2.to_string().is_empty());
+    }
+}

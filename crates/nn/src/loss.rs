@@ -1,0 +1,153 @@
+//! Softmax cross-entropy loss.
+
+use crate::{NnError, Result};
+use helios_tensor::Tensor;
+
+/// Softmax cross-entropy over integer class labels.
+///
+/// The combined forward/backward entry point returns both the mean loss
+/// and the gradient with respect to the logits, because the softmax
+/// probabilities are shared between the two computations.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use helios_nn::CrossEntropyLoss;
+/// use helios_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let loss = CrossEntropyLoss::new();
+/// // Perfectly confident, correct logits → near-zero loss.
+/// let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2])?;
+/// let (value, grad) = loss.forward_backward(&logits, &[0, 1])?;
+/// assert!(value < 1e-3);
+/// assert_eq!(grad.dims(), &[2, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Creates the loss function.
+    pub fn new() -> Self {
+        CrossEntropyLoss
+    }
+
+    /// Computes the mean cross-entropy and its gradient w.r.t. the logits.
+    ///
+    /// `logits` is `[N, classes]`; `labels` holds `N` class indices. The
+    /// gradient is `(softmax − one_hot) / N`, ready to feed to
+    /// [`crate::Network::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BatchMismatch`] when row and label counts differ
+    /// and [`NnError::LabelOutOfRange`] for an invalid class index.
+    pub fn forward_backward(&self, logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+        let n = logits.dims()[0];
+        let classes = logits.dims()[1];
+        if labels.len() != n {
+            return Err(NnError::BatchMismatch {
+                logits: n,
+                labels: labels.len(),
+            });
+        }
+        let probs = logits.softmax_rows()?;
+        let mut grad = probs.clone();
+        let g = grad.as_mut_slice();
+        let p = probs.as_slice();
+        let mut total = 0.0f32;
+        for (i, &label) in labels.iter().enumerate() {
+            if label >= classes {
+                return Err(NnError::LabelOutOfRange { label, classes });
+            }
+            let pi = p[i * classes + label].max(1e-12);
+            total -= pi.ln();
+            g[i * classes + label] -= 1.0;
+        }
+        let scale = 1.0 / n.max(1) as f32;
+        for v in g.iter_mut() {
+            *v *= scale;
+        }
+        Ok((total * scale, grad))
+    }
+
+    /// Mean cross-entropy only (no gradient), for evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CrossEntropyLoss::forward_backward`].
+    pub fn forward(&self, logits: &Tensor, labels: &[usize]) -> Result<f32> {
+        self.forward_backward(logits, labels).map(|(l, _)| l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::zeros(&[3, 4]);
+        let (v, _) = loss.forward_backward(&logits, &[0, 1, 2]).unwrap();
+        assert!((v - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let loss = CrossEntropyLoss::new();
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let (_, grad) = loss.forward_backward(&logits, &[2, 0]).unwrap();
+        for i in 0..2 {
+            let row_sum: f32 = (0..3).map(|j| grad.get(&[i, j]).unwrap()).sum();
+            assert!(row_sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let loss = CrossEntropyLoss::new();
+        let logits =
+            Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.9, -0.7], &[2, 3]).unwrap();
+        let labels = [1usize, 2];
+        let (_, grad) = loss.forward_backward(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let num =
+                (loss.forward(&lp, &labels).unwrap() - loss.forward(&lm, &labels).unwrap())
+                    / (2.0 * eps);
+            let ana = grad.as_slice()[i];
+            assert!((num - ana).abs() < 1e-3, "logit {i}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_labels_and_batch() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            loss.forward(&logits, &[0]),
+            Err(NnError::BatchMismatch { .. })
+        ));
+        assert!(matches!(
+            loss.forward(&logits, &[0, 3]),
+            Err(NnError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn loss_decreases_with_confidence_in_true_class() {
+        let loss = CrossEntropyLoss::new();
+        let weak = Tensor::from_vec(vec![0.1, 0.0], &[1, 2]).unwrap();
+        let strong = Tensor::from_vec(vec![5.0, 0.0], &[1, 2]).unwrap();
+        assert!(loss.forward(&strong, &[0]).unwrap() < loss.forward(&weak, &[0]).unwrap());
+    }
+}

@@ -1,0 +1,727 @@
+//! The [`Network`] container, flat parameter views, and the neuron index
+//! ([`NeuronLayout`]) used by federated aggregation.
+
+use crate::layer::Layer;
+use crate::{NnError, Result};
+use helios_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Number of output units of each maskable layer of a network, in
+/// canonical walk order.
+///
+/// This is the paper's per-layer `n_i` (§IV.C): the quantity the volume
+/// planner multiplies by the keep ratio `P_i` to size a straggler's
+/// sub-model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaskableUnits(pub Vec<usize>);
+
+impl MaskableUnits {
+    /// Number of maskable layers.
+    pub fn num_layers(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total maskable units across all layers (the paper's `m` restricted
+    /// to maskable structure).
+    pub fn total(&self) -> usize {
+        self.0.iter().sum()
+    }
+}
+
+/// Per-layer unit masks describing which neurons participate in a training
+/// cycle.
+///
+/// Index `i` addresses the `i`-th maskable layer in canonical walk order;
+/// `None` means "all units active". This is the object the Helios
+/// soft-training scheduler produces each cycle and the aggregation layer
+/// consumes to know which parameters a device actually trained.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelMask {
+    masks: Vec<Option<Vec<bool>>>,
+}
+
+impl ModelMask {
+    /// A mask with every unit of every layer active.
+    pub fn all_active(units: &MaskableUnits) -> Self {
+        ModelMask {
+            masks: vec![None; units.num_layers()],
+        }
+    }
+
+    /// Builds a mask from explicit per-layer activity vectors.
+    pub fn from_layers(masks: Vec<Option<Vec<bool>>>) -> Self {
+        ModelMask { masks }
+    }
+
+    /// Number of layers this mask covers.
+    pub fn num_layers(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// The mask of layer `i` (`None` = all active).
+    pub fn layer(&self, i: usize) -> Option<&[bool]> {
+        self.masks.get(i).and_then(|m| m.as_deref())
+    }
+
+    /// Replaces the mask of layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_layer(&mut self, i: usize, mask: Option<Vec<bool>>) {
+        self.masks[i] = mask;
+    }
+
+    /// Whether unit `unit` of maskable layer `layer` is active.
+    pub fn is_active(&self, layer: usize, unit: usize) -> bool {
+        match self.layer(layer) {
+            Some(m) => m.get(unit).copied().unwrap_or(false),
+            None => true,
+        }
+    }
+
+    /// Number of active units per layer.
+    pub fn active_counts(&self, units: &MaskableUnits) -> Vec<usize> {
+        units
+            .0
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| match self.layer(i) {
+                Some(m) => m.iter().filter(|&&b| b).count(),
+                None => n,
+            })
+            .collect()
+    }
+
+    /// Overall fraction of active units: the paper's `r_n`, used for the
+    /// heterogeneous aggregation weight `α_n = r_n / Σ r_n` (Eq 10).
+    pub fn keep_ratio(&self, units: &MaskableUnits) -> f64 {
+        let total = units.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let active: usize = self.active_counts(units).iter().sum();
+        active as f64 / total as f64
+    }
+}
+
+/// Identifies one neuron: unit `unit` of parameter group `group`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NeuronId {
+    /// Index into [`NeuronLayout`] groups (parameterized layers in
+    /// canonical order).
+    pub group: usize,
+    /// Output unit within the group.
+    pub unit: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GroupKind {
+    Dense {
+        in_features: usize,
+        out_features: usize,
+    },
+    Conv {
+        out_channels: usize,
+        patch_len: usize,
+    },
+}
+
+/// Metadata of one parameterized layer inside the flat parameter vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamGroup {
+    kind: GroupKind,
+    /// Position among *maskable* layers, when the layer is maskable.
+    maskable_id: Option<usize>,
+    weight_offset: usize,
+    bias_offset: usize,
+}
+
+impl ParamGroup {
+    /// Number of output units (neurons / channels).
+    pub fn units(&self) -> usize {
+        match self.kind {
+            GroupKind::Dense { out_features, .. } => out_features,
+            GroupKind::Conv { out_channels, .. } => out_channels,
+        }
+    }
+
+    /// Index among maskable layers, or `None` for head/projection layers.
+    pub fn maskable_id(&self) -> Option<usize> {
+        self.maskable_id
+    }
+
+    /// Number of parameters owned by each unit (weights + bias).
+    pub fn params_per_unit(&self) -> usize {
+        match self.kind {
+            GroupKind::Dense { in_features, .. } => in_features + 1,
+            GroupKind::Conv { patch_len, .. } => patch_len + 1,
+        }
+    }
+}
+
+/// Index from neurons to their positions in the flat parameter vector.
+///
+/// Built once per architecture by [`Network::layout`]; the federated
+/// server uses it to compute per-neuron contribution values (Eq 1), build
+/// parameter-level upload masks, and run the skip-cycle regulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeuronLayout {
+    groups: Vec<ParamGroup>,
+    total_params: usize,
+}
+
+impl NeuronLayout {
+    /// The parameter groups in canonical order.
+    pub fn groups(&self) -> &[ParamGroup] {
+        &self.groups
+    }
+
+    /// Total length of the flat parameter vector.
+    pub fn total_params(&self) -> usize {
+        self.total_params
+    }
+
+    /// Total neurons across all parameter groups (the paper's `m`).
+    pub fn total_neurons(&self) -> usize {
+        self.groups.iter().map(|g| g.units()).sum()
+    }
+
+    /// Iterates all neuron identifiers in canonical order.
+    pub fn neuron_ids(&self) -> impl Iterator<Item = NeuronId> + '_ {
+        self.groups.iter().enumerate().flat_map(|(gi, g)| {
+            (0..g.units()).map(move |u| NeuronId { group: gi, unit: u })
+        })
+    }
+
+    /// Flat parameter indices owned by one neuron (its weight fan-in plus
+    /// its bias element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the neuron id is out of range.
+    pub fn neuron_param_indices(&self, id: NeuronId) -> Vec<usize> {
+        let g = &self.groups[id.group];
+        assert!(id.unit < g.units(), "unit {} out of range", id.unit);
+        match g.kind {
+            GroupKind::Dense {
+                in_features,
+                out_features,
+            } => {
+                let mut v = Vec::with_capacity(in_features + 1);
+                for k in 0..in_features {
+                    v.push(g.weight_offset + k * out_features + id.unit);
+                }
+                v.push(g.bias_offset + id.unit);
+                v
+            }
+            GroupKind::Conv { patch_len, .. } => {
+                let start = g.weight_offset + id.unit * patch_len;
+                let mut v: Vec<usize> = (start..start + patch_len).collect();
+                v.push(g.bias_offset + id.unit);
+                v
+            }
+        }
+    }
+
+    /// L1 norm of the parameter change of one neuron between two flat
+    /// parameter vectors — the paper's contribution metric `U^{ij}` (Eq 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice is shorter than [`NeuronLayout::total_params`].
+    pub fn neuron_delta_l1(&self, id: NeuronId, prev: &[f32], curr: &[f32]) -> f32 {
+        self.neuron_param_indices(id)
+            .into_iter()
+            .map(|i| (curr[i] - prev[i]).abs())
+            .sum()
+    }
+
+    /// Expands a per-layer [`ModelMask`] into a parameter-level activity
+    /// mask over the flat vector.
+    ///
+    /// Parameters of non-maskable groups are always active; parameters of a
+    /// masked-out unit are inactive.
+    pub fn param_mask(&self, mask: &ModelMask) -> Vec<bool> {
+        let mut out = vec![true; self.total_params];
+        for (gi, g) in self.groups.iter().enumerate() {
+            let Some(mid) = g.maskable_id else { continue };
+            let Some(layer_mask) = mask.layer(mid) else { continue };
+            for (unit, &keep) in layer_mask.iter().enumerate() {
+                if !keep {
+                    for idx in self.neuron_param_indices(NeuronId { group: gi, unit }) {
+                        out[idx] = false;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A feed-forward network: an ordered stack of [`Layer`]s plus the
+/// geometry metadata the rest of the workspace needs.
+///
+/// See the crate-level example for an end-to-end training step.
+#[derive(Debug, Clone)]
+pub struct Network {
+    layers: Vec<Layer>,
+    input_dims: Vec<usize>,
+    num_classes: usize,
+    name: String,
+}
+
+impl Network {
+    /// Assembles a network.
+    ///
+    /// `input_dims` are per-sample dimensions (e.g. `[1, 16, 16]` for a
+    /// one-channel 16×16 image); `num_classes` is the classifier width.
+    pub fn new(
+        name: impl Into<String>,
+        layers: Vec<Layer>,
+        input_dims: &[usize],
+        num_classes: usize,
+    ) -> Self {
+        Network {
+            layers,
+            input_dims: input_dims.to_vec(),
+            num_classes,
+            name: name.into(),
+        }
+    }
+
+    /// Human-readable architecture name (e.g. `"lenet"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-sample input dimensions.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (used by the cost walker).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Forward pass over a batch whose first dimension is the batch size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h)?;
+        }
+        Ok(h)
+    }
+
+    /// Backward pass from the loss gradient at the logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] when called without a
+    /// preceding [`Network::forward`].
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Result<()> {
+        let mut g = grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(())
+    }
+
+    /// Resets all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total number of parameters.
+    pub fn param_len(&self) -> usize {
+        let mut n = 0;
+        for layer in &self.layers {
+            layer.for_each_param(&mut |t| n += t.len());
+        }
+        n
+    }
+
+    /// Copies all parameters into one flat vector (canonical order).
+    pub fn param_vector(&self) -> Vec<f32> {
+        let mut v = Vec::with_capacity(self.param_len());
+        for layer in &self.layers {
+            layer.for_each_param(&mut |t| v.extend_from_slice(t.as_slice()));
+        }
+        v
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamLengthMismatch`] when the vector length is
+    /// wrong.
+    pub fn set_param_vector(&mut self, params: &[f32]) -> Result<()> {
+        if params.len() != self.param_len() {
+            return Err(NnError::ParamLengthMismatch {
+                expected: self.param_len(),
+                actual: params.len(),
+            });
+        }
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            layer.for_each_param_mut(&mut |t| {
+                let n = t.len();
+                t.as_mut_slice().copy_from_slice(&params[offset..offset + n]);
+                offset += n;
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the neuron index for this architecture.
+    pub fn layout(&self) -> NeuronLayout {
+        let mut groups = Vec::new();
+        let mut offset = 0usize;
+        let mut maskable_counter = 0usize;
+        for layer in &self.layers {
+            collect_groups(layer, &mut offset, &mut maskable_counter, &mut groups);
+        }
+        NeuronLayout {
+            groups,
+            total_params: offset,
+        }
+    }
+
+    /// Output unit counts of the maskable layers, in canonical order.
+    pub fn maskable_units(&mut self) -> MaskableUnits {
+        let mut units = Vec::new();
+        for layer in &mut self.layers {
+            layer.visit_maskable(&mut |m| units.push(m.units()));
+        }
+        MaskableUnits(units)
+    }
+
+    /// Installs per-layer unit masks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MaskLengthMismatch`] when any layer mask has the
+    /// wrong length. Extra mask entries beyond the network's maskable
+    /// layers are ignored; missing entries leave layers unmasked.
+    pub fn set_masks(&mut self, mask: &ModelMask) -> Result<()> {
+        let mut idx = 0usize;
+        let mut result = Ok(());
+        for layer in &mut self.layers {
+            layer.visit_maskable(&mut |m| {
+                if result.is_err() {
+                    return;
+                }
+                let layer_mask = mask.layer(idx).map(|s| s.to_vec());
+                if let Err(e) = m.set_unit_mask(layer_mask) {
+                    result = Err(e);
+                }
+                idx += 1;
+            });
+        }
+        result
+    }
+
+    /// Removes all unit masks (every neuron active).
+    pub fn clear_masks(&mut self) {
+        for layer in &mut self.layers {
+            layer.visit_maskable(&mut |m| {
+                let _ = m.set_unit_mask(None);
+            });
+        }
+    }
+
+    /// Classification accuracy on a labelled batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BatchMismatch`] when `labels.len()` differs from
+    /// the batch size, and propagates forward-pass errors.
+    pub fn accuracy(&mut self, x: &Tensor, labels: &[usize]) -> Result<f64> {
+        let logits = self.forward(x)?;
+        if logits.dims()[0] != labels.len() {
+            return Err(NnError::BatchMismatch {
+                logits: logits.dims()[0],
+                labels: labels.len(),
+            });
+        }
+        let pred = logits.argmax_rows()?;
+        let correct = pred
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        Ok(correct as f64 / labels.len().max(1) as f64)
+    }
+}
+
+fn collect_groups(
+    layer: &Layer,
+    offset: &mut usize,
+    maskable_counter: &mut usize,
+    out: &mut Vec<ParamGroup>,
+) {
+    match layer {
+        Layer::Dense(d) => {
+            let weight_offset = *offset;
+            *offset += d.in_features() * d.out_features();
+            let bias_offset = *offset;
+            *offset += d.out_features();
+            let maskable_id = if d.is_maskable() {
+                let id = *maskable_counter;
+                *maskable_counter += 1;
+                Some(id)
+            } else {
+                None
+            };
+            out.push(ParamGroup {
+                kind: GroupKind::Dense {
+                    in_features: d.in_features(),
+                    out_features: d.out_features(),
+                },
+                maskable_id,
+                weight_offset,
+                bias_offset,
+            });
+        }
+        Layer::Conv2d(c) => {
+            let spec = *c.spec();
+            let wd = spec.weight_dims();
+            let weight_offset = *offset;
+            *offset += wd[0] * wd[1];
+            let bias_offset = *offset;
+            *offset += spec.out_channels;
+            let maskable_id = if c.is_maskable() {
+                let id = *maskable_counter;
+                *maskable_counter += 1;
+                Some(id)
+            } else {
+                None
+            };
+            out.push(ParamGroup {
+                kind: GroupKind::Conv {
+                    out_channels: spec.out_channels,
+                    patch_len: wd[1],
+                },
+                maskable_id,
+                weight_offset,
+                bias_offset,
+            });
+        }
+        Layer::Residual(r) => {
+            for inner in r.body() {
+                collect_groups(inner, offset, maskable_counter, out);
+            }
+            if let Some(s) = r.shortcut() {
+                // Projection shortcuts contribute parameters but are never
+                // maskable, mirroring `visit_maskable`.
+                let spec = *s.spec();
+                let wd = spec.weight_dims();
+                let weight_offset = *offset;
+                *offset += wd[0] * wd[1];
+                let bias_offset = *offset;
+                *offset += spec.out_channels;
+                out.push(ParamGroup {
+                    kind: GroupKind::Conv {
+                        out_channels: spec.out_channels,
+                        patch_len: wd[1],
+                    },
+                    maskable_id: None,
+                    weight_offset,
+                    bias_offset,
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Flatten, Relu, UnitMaskable};
+    use helios_tensor::{ConvSpec, TensorRng};
+
+    fn tiny_net() -> Network {
+        let mut rng = TensorRng::seed_from(1);
+        Network::new(
+            "tiny",
+            vec![
+                Layer::Conv2d(Conv2d::new(ConvSpec::new(1, 2, 3, 1, 1), &mut rng)),
+                Layer::Relu(Relu::new()),
+                Layer::Flatten(Flatten::new()),
+                Layer::Dense(Dense::new(2 * 4 * 4, 8, &mut rng)),
+                Layer::Relu(Relu::new()),
+                Layer::Dense(Dense::new(8, 3, &mut rng).non_maskable()),
+            ],
+            &[1, 4, 4],
+            3,
+        )
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut net = tiny_net();
+        let x = Tensor::ones(&[5, 1, 4, 4]);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[5, 3]);
+    }
+
+    #[test]
+    fn param_vector_round_trip() {
+        let mut net = tiny_net();
+        let v = net.param_vector();
+        assert_eq!(v.len(), net.param_len());
+        let mut v2 = v.clone();
+        for x in &mut v2 {
+            *x += 1.0;
+        }
+        net.set_param_vector(&v2).unwrap();
+        assert_eq!(net.param_vector(), v2);
+        assert!(net.set_param_vector(&v2[1..]).is_err());
+    }
+
+    #[test]
+    fn layout_matches_param_len_and_masks() {
+        let mut net = tiny_net();
+        let layout = net.layout();
+        assert_eq!(layout.total_params(), net.param_len());
+        // Groups: conv(2 units), dense(8 units), head dense(3 units).
+        assert_eq!(layout.groups().len(), 3);
+        assert_eq!(layout.total_neurons(), 13);
+        assert_eq!(layout.groups()[0].maskable_id(), Some(0));
+        assert_eq!(layout.groups()[1].maskable_id(), Some(1));
+        assert_eq!(layout.groups()[2].maskable_id(), None);
+        let units = net.maskable_units();
+        assert_eq!(units.0, vec![2, 8]);
+        assert_eq!(units.total(), 10);
+    }
+
+    #[test]
+    fn neuron_param_indices_partition_group_params() {
+        let net = tiny_net();
+        let layout = net.layout();
+        // Dense group 1: every flat index of the group appears in exactly
+        // one neuron's index list.
+        let mut seen = std::collections::HashSet::new();
+        for unit in 0..8 {
+            for idx in layout.neuron_param_indices(NeuronId { group: 1, unit }) {
+                assert!(seen.insert(idx), "index {idx} claimed twice");
+            }
+        }
+        // in_features+1 params per unit.
+        assert_eq!(seen.len(), 8 * (2 * 4 * 4 + 1));
+    }
+
+    #[test]
+    fn neuron_delta_l1_detects_changes() {
+        let net = tiny_net();
+        let layout = net.layout();
+        let prev = vec![0.0f32; layout.total_params()];
+        let mut curr = prev.clone();
+        let id = NeuronId { group: 0, unit: 1 };
+        let indices = layout.neuron_param_indices(id);
+        curr[indices[0]] = 0.5;
+        curr[indices[1]] = -0.25;
+        assert!((layout.neuron_delta_l1(id, &prev, &curr) - 0.75).abs() < 1e-6);
+        // A different neuron saw no change.
+        let other = NeuronId { group: 0, unit: 0 };
+        assert_eq!(layout.neuron_delta_l1(other, &prev, &curr), 0.0);
+    }
+
+    #[test]
+    fn param_mask_marks_masked_units_inactive() {
+        let mut net = tiny_net();
+        let layout = net.layout();
+        let units = net.maskable_units();
+        let mut mask = ModelMask::all_active(&units);
+        mask.set_layer(0, Some(vec![true, false]));
+        let pm = layout.param_mask(&mask);
+        assert_eq!(pm.len(), layout.total_params());
+        let inactive: Vec<usize> =
+            layout.neuron_param_indices(NeuronId { group: 0, unit: 1 });
+        for i in inactive {
+            assert!(!pm[i]);
+        }
+        // Unmasked group params stay active.
+        let active = layout.neuron_param_indices(NeuronId { group: 1, unit: 0 });
+        for i in active {
+            assert!(pm[i]);
+        }
+        // Head params always active.
+        let head = layout.neuron_param_indices(NeuronId { group: 2, unit: 0 });
+        for i in head {
+            assert!(pm[i]);
+        }
+    }
+
+    #[test]
+    fn set_masks_applies_and_clears() {
+        let mut net = tiny_net();
+        let units = net.maskable_units();
+        let mut mask = ModelMask::all_active(&units);
+        mask.set_layer(0, Some(vec![true, false]));
+        net.set_masks(&mask).unwrap();
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let _ = net.forward(&x).unwrap();
+        // Masked channel produces zero activations: verify via conv layer.
+        if let Layer::Conv2d(c) = &net.layers()[0] {
+            assert_eq!(c.unit_mask().unwrap(), &[true, false]);
+        } else {
+            panic!("layer 0 should be conv");
+        }
+        net.clear_masks();
+        if let Layer::Conv2d(c) = &net.layers()[0] {
+            assert!(c.unit_mask().is_none());
+        }
+    }
+
+    #[test]
+    fn set_masks_rejects_bad_length() {
+        let mut net = tiny_net();
+        let mask = ModelMask::from_layers(vec![Some(vec![true; 5]), None]);
+        assert!(net.set_masks(&mask).is_err());
+    }
+
+    #[test]
+    fn keep_ratio_reflects_active_fraction() {
+        let units = MaskableUnits(vec![2, 8]);
+        let full = ModelMask::all_active(&units);
+        assert_eq!(full.keep_ratio(&units), 1.0);
+        let mut half = ModelMask::all_active(&units);
+        half.set_layer(1, Some(vec![true, true, true, true, false, false, false, false]));
+        assert!((half.keep_ratio(&units) - 0.6).abs() < 1e-9);
+        assert_eq!(half.active_counts(&units), vec![2, 4]);
+        assert!(half.is_active(0, 0));
+        assert!(half.is_active(1, 3));
+        assert!(!half.is_active(1, 4));
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let mut net = tiny_net();
+        let x = Tensor::ones(&[4, 1, 4, 4]);
+        let logits = net.forward(&x).unwrap();
+        let pred = logits.argmax_rows().unwrap();
+        let acc = net.accuracy(&x, &pred).unwrap();
+        assert_eq!(acc, 1.0);
+        assert!(net.accuracy(&x, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,674 @@
+//! 2-D convolution (via `im2col`) and pooling primitives.
+//!
+//! All spatial operators work on rank-4 tensors in `[N, C, H, W]` layout
+//! (batch, channels, height, width). Convolution weights are stored as a
+//! rank-2 `[out_channels, in_channels * kh * kw]` matrix so the forward
+//! pass is a single matrix product over the unrolled patches.
+
+use crate::{Result, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a 2-D convolution: channel counts, square kernel,
+/// stride, and symmetric zero padding.
+///
+/// # Example
+///
+/// ```
+/// use helios_tensor::ConvSpec;
+///
+/// let spec = ConvSpec::new(3, 16, 3, 1, 1);
+/// assert_eq!(spec.output_hw(16, 16), (16, 16));
+/// assert_eq!(spec.weight_dims(), [16, 27]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels (feature maps / "neurons" in Helios terms).
+    pub out_channels: usize,
+    /// Side length of the square kernel.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Creates a convolution spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero, or either channel count is
+    /// zero — these are programming errors, not runtime conditions.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(kernel > 0, "kernel must be nonzero");
+        assert!(stride > 0, "stride must be nonzero");
+        assert!(in_channels > 0 && out_channels > 0, "channels must be nonzero");
+        ConvSpec {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Dimensions of the rank-2 weight matrix this spec expects.
+    pub fn weight_dims(&self) -> [usize; 2] {
+        [
+            self.out_channels,
+            self.in_channels * self.kernel * self.kernel,
+        ]
+    }
+
+    /// Number of columns in the unrolled patch matrix.
+    fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input, `[N, C, H, W]`.
+    pub grad_input: Tensor,
+    /// Gradient with respect to the weight matrix, `[O, C*K*K]`.
+    pub grad_weight: Tensor,
+    /// Gradient with respect to the bias, `[O]`.
+    pub grad_bias: Tensor,
+}
+
+fn check_nchw(op: &'static str, t: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    if t.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 4,
+            actual: t.shape().rank(),
+        });
+    }
+    let d = t.dims();
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// Unrolls `[N, C, H, W]` input patches into a `[N*OH*OW, C*K*K]` matrix.
+fn im2col(input: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw("im2col", input)?;
+    if c != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: input.dims().to_vec(),
+            rhs: vec![spec.in_channels],
+        });
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let pl = spec.patch_len();
+    let x = input.as_slice();
+    let mut cols = vec![0.0f32; n * oh * ow * pl];
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * pl;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            let ix = ix as usize;
+                            cols[row + (ci * k + ky) * k + kx] =
+                                x[((ni * c + ci) * h + iy) * w + ix];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(cols, &[n * oh * ow, pl])
+}
+
+/// Scatter-adds a `[N*OH*OW, C*K*K]` column matrix back into `[N, C, H, W]`.
+fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> Result<Tensor> {
+    let (oh, ow) = spec.output_hw(h, w);
+    let c = spec.in_channels;
+    let k = spec.kernel;
+    let pl = spec.patch_len();
+    if cols.dims() != [n * oh * ow, pl] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols.dims().to_vec(),
+            rhs: vec![n * oh * ow, pl],
+        });
+    }
+    let cs = cols.as_slice();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * pl;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            let ix = ix as usize;
+                            out[((ni * c + ci) * h + iy) * w + ix] +=
+                                cs[row + (ci * k + ky) * k + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+/// 2-D convolution forward pass.
+///
+/// `input` is `[N, C, H, W]`, `weight` is `[O, C*K*K]`, `bias` is `[O]`;
+/// the result is `[N, O, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when the operand shapes do not match `spec`.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use helios_tensor::{conv2d, ConvSpec, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let spec = ConvSpec::new(1, 2, 3, 1, 1);
+/// let input = Tensor::ones(&[1, 1, 4, 4]);
+/// let weight = Tensor::zeros(&[2, 9]);
+/// let bias = Tensor::from_vec(vec![0.5, -0.5], &[2])?;
+/// let out = conv2d(&input, &weight, &bias, &spec)?;
+/// assert_eq!(out.dims(), &[1, 2, 4, 4]);
+/// assert_eq!(out.get(&[0, 0, 0, 0])?, 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
+    let (n, _c, h, w) = check_nchw("conv2d", input)?;
+    if weight.dims() != spec.weight_dims() {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: weight.dims().to_vec(),
+            rhs: spec.weight_dims().to_vec(),
+        });
+    }
+    if bias.dims() != [spec.out_channels] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: bias.dims().to_vec(),
+            rhs: vec![spec.out_channels],
+        });
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let cols = im2col(input, spec)?;
+    // [N*OH*OW, CKK] × [CKK, O] → [N*OH*OW, O]
+    let prod = cols.matmul(&weight.transpose()?)?;
+    let p = prod.as_slice();
+    let b = bias.as_slice();
+    let o = spec.out_channels;
+    let mut out = vec![0.0f32; n * o * oh * ow];
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * o;
+                for oc in 0..o {
+                    out[((ni * o + oc) * oh + oy) * ow + ox] = p[row + oc] + b[oc];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, o, oh, ow])
+}
+
+/// 2-D convolution backward pass.
+///
+/// Given the forward `input`, the `weight` matrix, and `grad_output` of
+/// shape `[N, O, OH, OW]`, computes gradients with respect to input,
+/// weight, and bias.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when shapes are inconsistent with `spec`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: &ConvSpec,
+) -> Result<Conv2dGrads> {
+    let (n, _c, h, w) = check_nchw("conv2d_backward", input)?;
+    let (gn, go, goh, gow) = check_nchw("conv2d_backward", grad_output)?;
+    let (oh, ow) = spec.output_hw(h, w);
+    if gn != n || go != spec.out_channels || goh != oh || gow != ow {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: grad_output.dims().to_vec(),
+            rhs: vec![n, spec.out_channels, oh, ow],
+        });
+    }
+    let o = spec.out_channels;
+    // Re-layout grad_output from NCHW to rows [N*OH*OW, O].
+    let g = grad_output.as_slice();
+    let mut rows = vec![0.0f32; n * oh * ow * o];
+    let mut grad_bias = vec![0.0f32; o];
+    for ni in 0..n {
+        for oc in 0..o {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let v = g[((ni * o + oc) * oh + oy) * ow + ox];
+                    rows[((ni * oh + oy) * ow + ox) * o + oc] = v;
+                    grad_bias[oc] += v;
+                }
+            }
+        }
+    }
+    let grad_rows = Tensor::from_vec(rows, &[n * oh * ow, o])?;
+    let cols = im2col(input, spec)?;
+    // dW = gradᵀ × cols : [O, N*OH*OW] × [N*OH*OW, CKK] → [O, CKK]
+    let grad_weight = grad_rows.transpose()?.matmul(&cols)?;
+    // dcols = grad × W : [N*OH*OW, O] × [O, CKK] → [N*OH*OW, CKK]
+    let dcols = grad_rows.matmul(weight)?;
+    let grad_input = col2im(&dcols, spec, n, h, w)?;
+    Ok(Conv2dGrads {
+        grad_input,
+        grad_weight,
+        grad_bias: Tensor::from_vec(grad_bias, &[o])?,
+    })
+}
+
+/// Configuration of a 2-D pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Side length of the square pooling window.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Creates a pooling spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0, "kernel must be nonzero");
+        assert!(stride > 0, "stride must be nonzero");
+        PoolSpec { kernel, stride }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h - self.kernel) / self.stride + 1;
+        let ow = (w - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+/// Flat input indices of the maxima chosen by [`max_pool2d`], needed by the
+/// backward pass to route gradients.
+#[derive(Debug, Clone)]
+pub struct PoolIndices {
+    indices: Vec<usize>,
+    input_dims: Vec<usize>,
+}
+
+/// Max pooling forward pass on a `[N, C, H, W]` tensor.
+///
+/// Returns the pooled tensor and the argmax indices consumed by
+/// [`max_pool2d_backward`].
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when the input is not rank 4 or smaller than
+/// the pooling window.
+pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<(Tensor, PoolIndices)> {
+    let (n, c, h, w) = check_nchw("max_pool2d", input)?;
+    if h < spec.kernel || w < spec.kernel {
+        return Err(TensorError::InvalidArgument {
+            what: format!("pool kernel {} exceeds input {h}x{w}", spec.kernel),
+        });
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut idx = vec![0usize; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best_v = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            let fi = ((ni * c + ci) * h + iy) * w + ix;
+                            if x[fi] > best_v {
+                                best_v = x[fi];
+                                best_i = fi;
+                            }
+                        }
+                    }
+                    let oi = ((ni * c + ci) * oh + oy) * ow + ox;
+                    out[oi] = best_v;
+                    idx[oi] = best_i;
+                }
+            }
+        }
+    }
+    Ok((
+        Tensor::from_vec(out, &[n, c, oh, ow])?,
+        PoolIndices {
+            indices: idx,
+            input_dims: vec![n, c, h, w],
+        },
+    ))
+}
+
+/// Max pooling backward pass: routes each output gradient to the input
+/// position that produced the maximum.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when `grad_output` does not match the index
+/// record from the forward pass.
+pub fn max_pool2d_backward(grad_output: &Tensor, indices: &PoolIndices) -> Result<Tensor> {
+    if grad_output.len() != indices.indices.len() {
+        return Err(TensorError::SizeMismatch {
+            elements: grad_output.len(),
+            expected: indices.indices.len(),
+        });
+    }
+    let mut grad = Tensor::zeros(&indices.input_dims);
+    let gi = grad.as_mut_slice();
+    for (&src, &g) in indices.indices.iter().zip(grad_output.as_slice()) {
+        gi[src] += g;
+    }
+    Ok(grad)
+}
+
+/// Average pooling forward pass on a `[N, C, H, W]` tensor.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when the input is not rank 4 or smaller than
+/// the pooling window.
+pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw("avg_pool2d", input)?;
+    if h < spec.kernel || w < spec.kernel {
+        return Err(TensorError::InvalidArgument {
+            what: format!("pool kernel {} exceeds input {h}x{w}", spec.kernel),
+        });
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let x = input.as_slice();
+    let area = (spec.kernel * spec.kernel) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            acc += x[((ni * c + ci) * h + iy) * w + ix];
+                        }
+                    }
+                    out[((ni * c + ci) * oh + oy) * ow + ox] = acc / area;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Average pooling backward pass: spreads each output gradient uniformly
+/// over its pooling window.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when `grad_output` is inconsistent with the
+/// given input geometry.
+pub fn avg_pool2d_backward(
+    grad_output: &Tensor,
+    spec: &PoolSpec,
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "avg_pool2d_backward",
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = spec.output_hw(h, w);
+    if grad_output.dims() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "avg_pool2d_backward",
+            lhs: grad_output.dims().to_vec(),
+            rhs: vec![n, c, oh, ow],
+        });
+    }
+    let g = grad_output.as_slice();
+    let area = (spec.kernel * spec.kernel) as f32;
+    let mut out = vec![0.0f32; n * c * h * w];
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[((ni * c + ci) * oh + oy) * ow + ox] / area;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            out[((ni * c + ci) * h + iy) * w + ix] += gv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_spec_output_geometry() {
+        let s = ConvSpec::new(3, 8, 3, 1, 1);
+        assert_eq!(s.output_hw(16, 16), (16, 16));
+        let s2 = ConvSpec::new(3, 8, 3, 2, 1);
+        assert_eq!(s2.output_hw(16, 16), (8, 8));
+        let s3 = ConvSpec::new(1, 1, 2, 2, 0);
+        assert_eq!(s3.output_hw(4, 4), (2, 2));
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_reproduces_input() {
+        // A 1x1 kernel with weight 1 and bias 0 is the identity map.
+        let spec = ConvSpec::new(1, 1, 1, 1, 0);
+        let input = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let weight = Tensor::ones(&[1, 1]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d(&input, &weight, &bias, &spec).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn conv2d_sum_kernel_known_value() {
+        // 3x3 all-ones kernel, no padding: each output is the 3x3 patch sum.
+        let spec = ConvSpec::new(1, 1, 3, 1, 0);
+        let input = Tensor::ones(&[1, 1, 4, 4]);
+        let weight = Tensor::ones(&[1, 9]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d(&input, &weight, &bias, &spec).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert!(out.as_slice().iter().all(|&v| (v - 9.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn conv2d_padding_zeroes_border_contributions() {
+        let spec = ConvSpec::new(1, 1, 3, 1, 1);
+        let input = Tensor::ones(&[1, 1, 3, 3]);
+        let weight = Tensor::ones(&[1, 9]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d(&input, &weight, &bias, &spec).unwrap();
+        // Corner output sees only a 2x2 live patch.
+        assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), 4.0);
+        // Center output sees the full 3x3.
+        assert_eq!(out.get(&[0, 0, 1, 1]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn conv2d_rejects_mismatched_weight() {
+        let spec = ConvSpec::new(1, 2, 3, 1, 1);
+        let input = Tensor::ones(&[1, 1, 4, 4]);
+        let bad_weight = Tensor::zeros(&[2, 8]);
+        let bias = Tensor::zeros(&[2]);
+        assert!(conv2d(&input, &bad_weight, &bias, &spec).is_err());
+    }
+
+    /// Finite-difference check of the full conv2d backward pass.
+    #[test]
+    fn conv2d_backward_matches_finite_differences() {
+        let spec = ConvSpec::new(2, 3, 3, 1, 1);
+        let n = 2;
+        let (h, w) = (4, 4);
+        let mk = |seed: u32, len: usize| -> Vec<f32> {
+            // Small deterministic pseudo-random values.
+            (0..len)
+                .map(|i| {
+                    let v = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                    ((v >> 16) & 0xff) as f32 / 255.0 - 0.5
+                })
+                .collect()
+        };
+        let input = Tensor::from_vec(mk(1, n * 2 * h * w), &[n, 2, h, w]).unwrap();
+        let weight = Tensor::from_vec(mk(2, 3 * 18), &[3, 18]).unwrap();
+        let bias = Tensor::from_vec(mk(3, 3), &[3]).unwrap();
+        // Loss = sum of outputs, so grad_output = ones.
+        let out = conv2d(&input, &weight, &bias, &spec).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &grad_out, &spec).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |inp: &Tensor, wt: &Tensor, bs: &Tensor| -> f32 {
+            conv2d(inp, wt, bs, &spec).unwrap().sum()
+        };
+        // Check a sample of weight gradients.
+        for &i in &[0usize, 7, 20, 53] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[i] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[i] -= eps;
+            let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            let ana = grads.grad_weight.as_slice()[i];
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "weight grad {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Check a sample of input gradients.
+        for &i in &[0usize, 13, 31, 60] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[i] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[i] -= eps;
+            let num = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
+            let ana = grads.grad_input.as_slice()[i];
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "input grad {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Bias gradient of a sum loss is the number of output positions.
+        let (oh, ow) = spec.output_hw(h, w);
+        let expected_bias = (n * oh * ow) as f32;
+        for &g in grads.grad_bias.as_slice() {
+            assert!((g - expected_bias).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn max_pool_picks_maxima_and_routes_gradient() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 4.0, //
+                3.0, 0.0, 1.0, 1.0, //
+                0.0, 0.0, 9.0, 1.0, //
+                0.0, 7.0, 1.0, 1.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let spec = PoolSpec::new(2, 2);
+        let (out, idx) = max_pool2d(&input, &spec).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[3.0, 5.0, 7.0, 9.0]);
+        let grad = max_pool2d_backward(&Tensor::ones(&[1, 1, 2, 2]), &idx).unwrap();
+        // Exactly the four argmax positions receive gradient 1.
+        assert_eq!(grad.sum(), 4.0);
+        assert_eq!(grad.get(&[0, 0, 1, 0]).unwrap(), 1.0); // 3.0
+        assert_eq!(grad.get(&[0, 0, 0, 2]).unwrap(), 1.0); // 5.0
+        assert_eq!(grad.get(&[0, 0, 3, 1]).unwrap(), 1.0); // 7.0
+        assert_eq!(grad.get(&[0, 0, 2, 2]).unwrap(), 1.0); // 9.0
+    }
+
+    #[test]
+    fn avg_pool_forward_and_backward_are_consistent() {
+        let input = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let spec = PoolSpec::new(2, 2);
+        let out = avg_pool2d(&input, &spec).unwrap();
+        assert_eq!(out.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+        let grad =
+            avg_pool2d_backward(&Tensor::ones(&[1, 1, 2, 2]), &spec, &[1, 1, 4, 4]).unwrap();
+        // Each input cell belongs to exactly one window; gradient 1/4 each.
+        assert!(grad.as_slice().iter().all(|&g| (g - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn pool_rejects_oversized_kernel() {
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let spec = PoolSpec::new(3, 1);
+        assert!(max_pool2d(&input, &spec).is_err());
+        assert!(avg_pool2d(&input, &spec).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type shared by every fallible tensor operation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+///
+/// Every variant carries enough context (the offending shapes or sizes) to
+/// diagnose the failure without a debugger.
+///
+/// # Example
+///
+/// ```
+/// use helios_tensor::{Tensor, TensorError};
+///
+/// let err = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[2, 2]).unwrap_err();
+/// assert!(matches!(err, TensorError::SizeMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The flat element count does not match the product of the dimensions.
+    SizeMismatch {
+        /// Number of elements supplied.
+        elements: usize,
+        /// Number of elements the requested shape implies.
+        expected: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: Vec<usize>,
+        /// Shape of the right/second operand.
+        rhs: Vec<usize>,
+    },
+    /// The tensor does not have the rank the operation requires.
+    RankMismatch {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank the tensor actually has.
+        actual: usize,
+    },
+    /// An index was outside the tensor bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A configuration value (stride, kernel size, …) was invalid.
+    InvalidArgument {
+        /// Description of what was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::SizeMismatch { elements, expected } => write!(
+                f,
+                "element count {elements} does not match shape product {expected}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op} requires rank {expected}, tensor has rank {actual}"),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let variants = vec![
+            TensorError::SizeMismatch {
+                elements: 3,
+                expected: 4,
+            },
+            TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![2, 3],
+                rhs: vec![4, 5],
+            },
+            TensorError::RankMismatch {
+                op: "conv2d",
+                expected: 4,
+                actual: 2,
+            },
+            TensorError::IndexOutOfBounds {
+                index: vec![9],
+                shape: vec![3],
+            },
+            TensorError::InvalidArgument {
+                what: "stride must be nonzero".into(),
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,77 @@
+//! Dynamic device join (§VI.C): scalability of the collaboration.
+//!
+//! Starts a 2-device collaboration, then admits two newcomers mid-run —
+//! one capable, one straggler-class. Helios's scalability manager
+//! classifies each against the established capable pace and assigns the
+//! straggler a fitted volume before it joins the next cycle.
+//!
+//! ```text
+//! cargo run -p helios-examples --bin dynamic_join --release
+//! ```
+
+use helios_core::{HeliosConfig, HeliosStrategy};
+use helios_data::{partition, Dataset, SyntheticVision};
+use helios_device::presets;
+use helios_fl::{FlConfig, FlEnv, Strategy};
+use helios_nn::models::ModelKind;
+use helios_tensor::TensorRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = TensorRng::seed_from(21);
+    let (train, test) = SyntheticVision::mnist_like().generate(480, 150, &mut rng)?;
+    let all_shards: Vec<Dataset> = partition::iid(train.len(), 4, &mut rng)
+        .into_iter()
+        .map(|idx| train.subset(&idx))
+        .collect::<Result<_, _>>()?;
+    let mut shards = all_shards.into_iter();
+    let initial: Vec<Dataset> = shards.by_ref().take(2).collect();
+
+    let mut env = FlEnv::new(
+        ModelKind::LeNet,
+        presets::mixed_fleet(1, 1),
+        initial,
+        test,
+        FlConfig {
+            seed: 21,
+            ..FlConfig::default()
+        },
+    )?;
+
+    let mut helios = HeliosStrategy::new(HeliosConfig::default());
+    let phase1 = helios.run(&mut env, 5)?;
+    println!(
+        "phase 1 (2 devices, 5 cycles): accuracy {:.1}%, stragglers {:?}",
+        phase1.best_accuracy() * 100.0,
+        helios.stragglers()
+    );
+
+    // A straggler-class DeepLens joins …
+    let shard = shards.next().expect("two shards reserved for joiners");
+    let id = helios.admit_device(&mut env, presets::deeplens_gpu(), shard)?;
+    println!(
+        "admitted client {id} (deeplens-gpu): classified straggler = {}, volume = {:.0}%",
+        helios.stragglers().contains(&id),
+        helios.keep_ratio(id).unwrap_or(1.0) * 100.0
+    );
+
+    // … and a capable Nano joins.
+    let shard = shards.next().expect("one shard left");
+    let id2 = helios.admit_device(&mut env, presets::jetson_nano(), shard)?;
+    println!(
+        "admitted client {id2} (jetson-nano): classified straggler = {}",
+        helios.stragglers().contains(&id2)
+    );
+
+    let phase2 = helios.run(&mut env, 5)?;
+    println!(
+        "phase 2 (4 devices, 5 cycles): accuracy {:.1}%, {} participants per cycle",
+        phase2.best_accuracy() * 100.0,
+        phase2.records().last().map_or(0, |r| r.participants)
+    );
+    println!(
+        "cycle time stayed at the capable pace: {} per cycle",
+        helios.deadline()
+    );
+    Ok(())
+}

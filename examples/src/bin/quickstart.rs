@@ -1,0 +1,83 @@
+//! Quickstart: the smallest end-to-end Helios run.
+//!
+//! Builds a 2-device fleet (one capable Jetson Nano, one DeepLens-class
+//! straggler), generates an MNIST-like synthetic dataset, and compares
+//! synchronized FedAvg against Helios for 10 aggregation cycles.
+//!
+//! ```text
+//! cargo run -p helios-examples --bin quickstart --release
+//! ```
+
+use helios_core::{HeliosConfig, HeliosStrategy};
+use helios_data::{partition, Dataset, SyntheticVision};
+use helios_device::presets;
+use helios_fl::{FlConfig, FlEnv, Strategy, SyncFedAvg};
+use helios_nn::models::ModelKind;
+use helios_tensor::TensorRng;
+use std::error::Error;
+
+fn build_env(seed: u64) -> Result<FlEnv, Box<dyn Error>> {
+    // 1. Synthetic MNIST-like data: 10 classes, 1×16×16 images.
+    let mut rng = TensorRng::seed_from(seed);
+    let (train, test) = SyntheticVision::mnist_like().generate(240, 120, &mut rng)?;
+
+    // 2. Two IID shards, one per device.
+    let shards: Vec<Dataset> = partition::iid(train.len(), 2, &mut rng)
+        .into_iter()
+        .map(|idx| train.subset(&idx))
+        .collect::<Result<_, _>>()?;
+
+    // 3. A capable device plus one straggler from the paper's Table I.
+    let fleet = vec![presets::jetson_nano(), presets::deeplens_cpu()];
+
+    Ok(FlEnv::new(
+        ModelKind::LeNet,
+        fleet,
+        shards,
+        test,
+        FlConfig {
+            seed,
+            ..FlConfig::default()
+        },
+    )?)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cycles = 10;
+
+    // Baseline: synchronized FedAvg waits for the straggler every cycle.
+    let mut env = build_env(7)?;
+    let sync = SyncFedAvg::new().run(&mut env, cycles)?;
+
+    // Helios: identify the straggler, fit its model volume, soft-train.
+    let mut env = build_env(7)?;
+    let mut helios = HeliosStrategy::new(HeliosConfig::default());
+    let metrics = helios.run(&mut env, cycles)?;
+
+    println!("identified stragglers : {:?}", helios.stragglers());
+    println!(
+        "straggler volume      : {:.0}% of neurons per cycle",
+        helios.keep_ratio(1).unwrap_or(1.0) * 100.0
+    );
+    println!("capable-pace deadline : {}", helios.deadline());
+    println!();
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}",
+        "strategy", "accuracy", "sim time", "per cycle"
+    );
+    for m in [&sync, &metrics] {
+        let per_cycle = m.total_time().as_secs_f64() / cycles as f64;
+        println!(
+            "{:<14} {:>9.1}% {:>12} {:>11.1}s",
+            m.strategy(),
+            m.best_accuracy() * 100.0,
+            m.total_time().to_string(),
+            per_cycle
+        );
+    }
+    println!(
+        "\nHelios finishes {:.1}x faster in simulated time at comparable accuracy.",
+        sync.total_time().as_secs_f64() / metrics.total_time().as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Runnable examples for the Helios workspace.
+//!
+//! Each binary in `src/bin/` exercises the public API on one scenario:
+//!
+//! - `quickstart` — smallest end-to-end run: 2 devices, 1 straggler,
+//!   Helios vs synchronized FedAvg;
+//! - `heterogeneous_fleet` — the paper's Table I fleet: profile devices,
+//!   identify stragglers both ways, fit volumes, and train;
+//! - `non_iid_collaboration` — label-skewed shards where the straggler
+//!   holds unique classes, comparing straggler-handling strategies;
+//! - `dynamic_join` — devices joining mid-collaboration (§VI.C), admitted
+//!   and classified by the scalability manager.
+//!
+//! Run one with `cargo run -p helios-examples --bin quickstart --release`.
