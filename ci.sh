@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI gate for the Helios workspace: formatting, lints, build, tests, and
+# the thread-scaling microbench (emits results/BENCH_parallel.json).
+#
+# Usage: ./ci.sh [--skip-bench]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SKIP_BENCH=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-bench) SKIP_BENCH=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release --workspace
+
+step "cargo test -q"
+cargo test -q --workspace
+
+if [ "$SKIP_BENCH" -eq 0 ]; then
+    step "thread-scaling microbench (results/BENCH_parallel.json)"
+    cargo run --release -p helios-bench --bin bench_parallel
+else
+    step "skipping microbench (--skip-bench)"
+fi
+
+step "CI green"

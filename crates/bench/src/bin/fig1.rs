@@ -29,14 +29,8 @@ fn main() {
         .into_iter()
         .map(|idx| train.subset(&idx).expect("indices in range"))
         .collect();
-    let env = FlEnv::new(
-        ModelKind::AlexNet,
-        fleet,
-        shards,
-        test,
-        FlConfig::default(),
-    )
-    .expect("environment builds");
+    let env = FlEnv::new(ModelKind::AlexNet, fleet, shards, test, FlConfig::default())
+        .expect("environment builds");
 
     let times: Vec<f64> = (0..env.num_clients())
         .map(|i| {
@@ -55,7 +49,12 @@ fn main() {
         "device", "cycle time", "idle/cycle", "idle %"
     );
     for (i, &t) in times.iter().enumerate() {
-        let name = env.client(i).expect("client exists").profile().name().to_string();
+        let name = env
+            .client(i)
+            .expect("client exists")
+            .profile()
+            .name()
+            .to_string();
         let idle = slowest - t;
         println!(
             "{:<18} {:>12} {:>12} {:>9.0}%",

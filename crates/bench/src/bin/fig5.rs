@@ -51,11 +51,7 @@ fn main() {
             let metrics = run_strategies(&spec, StrategySet::Paper, cycles);
             println!("{}", format_curves(&metrics, (cycles / 10).max(1)));
             println!("{}", format_summary(&metrics, target_for(workload)));
-            let prefix = format!(
-                "fig5_{}_{}dev",
-                workload.label().replace('/', "_"),
-                devices
-            );
+            let prefix = format!("fig5_{}_{}dev", workload.label().replace('/', "_"), devices);
             write_csvs(&results_dir().join("fig5"), &prefix, &metrics)
                 .expect("results directory is writable");
         }

@@ -17,7 +17,9 @@ use helios_bench::{
 fn main() {
     let cycles = 35;
     let seeds = [21u64, 22, 23, 24, 25];
-    println!("Fig 6: Helios vs S.T. Only (AlexNet/CIFAR-10-like, label-shard Non-IID), stragglers 1→4\n");
+    println!(
+        "Fig 6: Helios vs S.T. Only (AlexNet/CIFAR-10-like, label-shard Non-IID), stragglers 1→4\n"
+    );
     println!(
         "{:<12} {:>14} {:>14} {:>12} {:>12}",
         "stragglers", "st_only tail", "helios tail", "st_only std", "helios std"

@@ -45,11 +45,7 @@ fn main() {
         println!("{}", format_summary(&metrics, 0.5));
         write_csvs(
             &results_dir().join("fig7"),
-            &format!(
-                "fig7_{}_{}dev",
-                workload.label().replace('/', "_"),
-                devices
-            ),
+            &format!("fig7_{}_{}dev", workload.label().replace('/', "_"), devices),
             &metrics,
         )
         .expect("results directory is writable");

@@ -8,9 +8,7 @@
 //!
 //! Usage: `repro [cycles]` (default 12).
 
-use helios_bench::{
-    format_summary, run_strategies, ExperimentSpec, StrategySet, Workload,
-};
+use helios_bench::{format_summary, run_strategies, ExperimentSpec, StrategySet, Workload};
 use std::process::Command;
 
 fn run_binary(name: &str) {

@@ -42,10 +42,7 @@ fn main() {
         );
     }
     println!("\ntime-cost ratios vs the strongest straggler (shape check):");
-    println!(
-        "{:<18} {:>10} {:>10}",
-        "device", "measured", "paper"
-    );
+    println!("{:<18} {:>10} {:>10}", "device", "measured", "paper");
     for (i, d) in devices.iter().enumerate() {
         println!(
             "{:<18} {:>9.2}x {:>9.2}x",

@@ -102,8 +102,7 @@ impl ExperimentConfig {
     /// Returns [`ConfigError::Parse`] for malformed JSON and
     /// [`ConfigError::Invalid`] for out-of-range fields.
     pub fn from_json(text: &str) -> Result<Self, ConfigError> {
-        let config: ExperimentConfig =
-            serde_json::from_str(text).map_err(ConfigError::Parse)?;
+        let config: ExperimentConfig = serde_json::from_str(text).map_err(ConfigError::Parse)?;
         config.validate()?;
         Ok(config)
     }
@@ -175,9 +174,7 @@ impl ExperimentConfig {
                 "afo" => Box::new(Afo::new(straggler_ids.clone())),
                 "random" => Box::new(RandomPartial::new(spec.helios_volumes())),
                 "helios" => Box::new(HeliosStrategy::new(HeliosConfig::default())),
-                "st_only" => {
-                    Box::new(HeliosStrategy::new(HeliosConfig::soft_training_only()))
-                }
+                "st_only" => Box::new(HeliosStrategy::new(HeliosConfig::soft_training_only())),
                 other => unreachable!("validated strategy {other}"),
             };
             let mut env = spec.build_env();

@@ -288,7 +288,11 @@ pub fn format_curves(metrics: &[RunMetrics], step: usize) -> String {
     let _ = writeln!(
         out,
         "{:<16} {:>7} {:>7} {:>9}  accuracy @ every {} cycles",
-        "strategy", "best", "tail3", "sim_time", step.max(1)
+        "strategy",
+        "best",
+        "tail3",
+        "sim_time",
+        step.max(1)
     );
     for m in metrics {
         let pts: Vec<String> = m
@@ -368,7 +372,10 @@ mod tests {
     #[test]
     fn workload_parsing_and_labels() {
         assert_eq!(Workload::parse("mnist"), Some(Workload::LenetMnist));
-        assert_eq!(Workload::parse("cifar100"), Some(Workload::Resnet18Cifar100));
+        assert_eq!(
+            Workload::parse("cifar100"),
+            Some(Workload::Resnet18Cifar100)
+        );
         assert_eq!(Workload::parse("bogus"), None);
         for w in Workload::ALL {
             assert!(!w.label().is_empty());

@@ -134,9 +134,7 @@ impl Dataset {
     ///
     /// Returns [`DataError::InvalidArgument`] when geometries differ.
     pub fn merge(&self, other: &Dataset) -> Result<Dataset> {
-        if self.sample_dims() != other.sample_dims()
-            || self.num_classes != other.num_classes
-        {
+        if self.sample_dims() != other.sample_dims() || self.num_classes != other.num_classes {
             return Err(DataError::InvalidArgument {
                 what: format!(
                     "cannot merge {:?}/{} classes with {:?}/{} classes",

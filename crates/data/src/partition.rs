@@ -60,10 +60,7 @@ pub fn label_shards(
     let total_shards = clients * shards_per_client;
     if labels.len() < total_shards {
         return Err(DataError::InvalidArgument {
-            what: format!(
-                "{} samples cannot fill {total_shards} shards",
-                labels.len()
-            ),
+            what: format!("{} samples cannot fill {total_shards} shards", labels.len()),
         });
     }
     let mut by_label: Vec<usize> = (0..labels.len()).collect();
@@ -209,7 +206,11 @@ mod tests {
     fn assert_partition_is_exact(shards: &[Vec<usize>], n: usize) {
         let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
         all.sort_unstable();
-        assert_eq!(all, (0..n).collect::<Vec<_>>(), "must cover 0..n exactly once");
+        assert_eq!(
+            all,
+            (0..n).collect::<Vec<_>>(),
+            "must cover 0..n exactly once"
+        );
     }
 
     #[test]
@@ -302,7 +303,10 @@ mod tests {
         assert!(dirichlet(&labels, 10, 0, 1.0, &mut rng).is_err());
         assert!(dirichlet(&labels, 10, 2, 0.0, &mut rng).is_err());
         assert!(dirichlet(&labels, 10, 2, f64::NAN, &mut rng).is_err());
-        assert!(dirichlet(&labels, 5, 2, 1.0, &mut rng).is_err(), "label 9 out of range");
+        assert!(
+            dirichlet(&labels, 5, 2, 1.0, &mut rng).is_err(),
+            "label 9 out of range"
+        );
     }
 
     #[test]

@@ -124,8 +124,7 @@ impl SyntheticVision {
                 let mut proto = vec![0.0f32; self.channels * plane];
                 for c in 0..self.channels {
                     // Coarse grid in [-1, 1].
-                    let coarse: Vec<f32> =
-                        (0..g * g).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                    let coarse: Vec<f32> = (0..g * g).map(|_| rng.uniform(-1.0, 1.0)).collect();
                     for y in 0..side {
                         for x in 0..side {
                             // Bilinear sample of the coarse grid.
@@ -168,10 +167,7 @@ impl SyntheticVision {
                 data.push(p + rng.standard_normal() * self.noise_std);
             }
         }
-        let images = Tensor::from_vec(
-            data,
-            &[n, self.channels, self.side, self.side],
-        )?;
+        let images = Tensor::from_vec(data, &[n, self.channels, self.side, self.side])?;
         Dataset::new(images, labels, self.num_classes)
     }
 }
@@ -192,26 +188,18 @@ mod tests {
     #[test]
     fn generation_is_deterministic_per_seed() {
         let spec = SyntheticVision::mnist_like();
-        let (a, _) = spec
-            .generate(50, 10, &mut TensorRng::seed_from(3))
-            .unwrap();
-        let (b, _) = spec
-            .generate(50, 10, &mut TensorRng::seed_from(3))
-            .unwrap();
+        let (a, _) = spec.generate(50, 10, &mut TensorRng::seed_from(3)).unwrap();
+        let (b, _) = spec.generate(50, 10, &mut TensorRng::seed_from(3)).unwrap();
         assert_eq!(a.images().as_slice(), b.images().as_slice());
         assert_eq!(a.labels(), b.labels());
-        let (c, _) = spec
-            .generate(50, 10, &mut TensorRng::seed_from(4))
-            .unwrap();
+        let (c, _) = spec.generate(50, 10, &mut TensorRng::seed_from(4)).unwrap();
         assert_ne!(a.images().as_slice(), c.images().as_slice());
     }
 
     #[test]
     fn labels_are_balanced_round_robin() {
         let spec = SyntheticVision::mnist_like();
-        let (train, _) = spec
-            .generate(100, 0, &mut TensorRng::seed_from(0))
-            .unwrap();
+        let (train, _) = spec.generate(100, 0, &mut TensorRng::seed_from(0)).unwrap();
         assert!(train.class_counts().iter().all(|&c| c == 10));
     }
 
@@ -220,9 +208,7 @@ mod tests {
         // The defining property of the generator: intra-class distance is
         // smaller than inter-class distance on average.
         let spec = SyntheticVision::mnist_like();
-        let (train, _) = spec
-            .generate(200, 0, &mut TensorRng::seed_from(9))
-            .unwrap();
+        let (train, _) = spec.generate(200, 0, &mut TensorRng::seed_from(9)).unwrap();
         let sample_len: usize = train.sample_dims().iter().product();
         let img = train.images().as_slice();
         let dist = |i: usize, j: usize| -> f32 {
@@ -261,14 +247,8 @@ mod tests {
     #[test]
     fn cifar100_labels_cover_many_classes() {
         let spec = SyntheticVision::cifar100_like();
-        let (train, _) = spec
-            .generate(300, 0, &mut TensorRng::seed_from(0))
-            .unwrap();
-        let covered = train
-            .class_counts()
-            .iter()
-            .filter(|&&c| c > 0)
-            .count();
+        let (train, _) = spec.generate(300, 0, &mut TensorRng::seed_from(0)).unwrap();
+        let covered = train.class_counts().iter().filter(|&&c| c > 0).count();
         assert_eq!(covered, 100);
     }
 }

@@ -49,6 +49,6 @@ pub mod presets;
 mod profile;
 
 pub use clock::{SimClock, SimTime};
-pub use events::EventQueue;
 pub use cost::{CostModel, TrainingWorkload};
+pub use events::EventQueue;
 pub use profile::ResourceProfile;

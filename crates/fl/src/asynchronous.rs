@@ -1,9 +1,7 @@
 //! Asynchronous baselines: plain async FL and AFO (staleness-aware
 //! asynchronous federated optimization).
 
-use crate::{
-    aggregate, FlEnv, FlError, MaskedUpdate, Result, RoundRecord, RunMetrics, Strategy,
-};
+use crate::{aggregate, FlEnv, FlError, MaskedUpdate, Result, RoundRecord, RunMetrics, Strategy};
 use helios_device::SimTime;
 
 /// Computes each straggler's update period: how many capable-device

@@ -204,7 +204,10 @@ impl Client {
         let mut batches = 0usize;
         for _ in 0..self.local_epochs {
             let mut shuffle_rng = self.rng.split();
-            for (x, y) in self.dataset.shuffled_batches(self.batch_size, &mut shuffle_rng) {
+            for (x, y) in self
+                .dataset
+                .shuffled_batches(self.batch_size, &mut shuffle_rng)
+            {
                 self.net.zero_grad();
                 let logits = self.net.forward(&x)?;
                 let (l, grad) = loss_fn.forward_backward(&logits, &y)?;

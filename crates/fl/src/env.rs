@@ -1,11 +1,11 @@
 //! The shared experimental environment a strategy runs against.
 
-use crate::{Client, FlError, Result};
+use crate::{Client, FlError, LocalUpdate, Result};
 use helios_data::Dataset;
 use helios_device::{ResourceProfile, SimClock, SimTime};
 use helios_nn::models::ModelKind;
 use helios_nn::{CrossEntropyLoss, Network};
-use helios_tensor::TensorRng;
+use helios_tensor::{map_items_mut, ParallelismConfig, TensorRng};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters shared by every strategy run.
@@ -30,6 +30,13 @@ pub struct FlConfig {
     /// formula as in Table I. Affects only *simulated* time, never the
     /// learned parameters.
     pub workload_scale: f64,
+    /// Thread budget for the parallel execution engine: caps the client
+    /// fan-out of [`FlEnv::train_all`] and the kernel width during
+    /// evaluation. Results are bitwise identical for every setting —
+    /// parallelism trades wall-clock time only (see `helios_tensor`'s
+    /// parallel module). Defaults to auto-detect.
+    #[serde(default)]
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for FlConfig {
@@ -42,6 +49,7 @@ impl Default for FlConfig {
             eval_batch: 64,
             seed: 42,
             workload_scale: 2000.0,
+            parallelism: ParallelismConfig::auto(),
         }
     }
 }
@@ -240,6 +248,27 @@ impl FlEnv {
         self.client_mut(client)?.receive_global(&global, cycle)
     }
 
+    /// Runs one local training cycle on **every** client, fanning the
+    /// independent per-client work out across worker threads, and
+    /// returns the updates in client order.
+    ///
+    /// The fan-out width is capped by [`FlConfig::parallelism`]; surplus
+    /// budget flows to the tensor kernels inside each worker. Because
+    /// every kernel is bitwise deterministic at any thread width and the
+    /// returned updates preserve client order, the result is identical
+    /// to calling [`Client::train_local`] serially — strategies may
+    /// aggregate it without any reordering concerns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (in client order) training error.
+    pub fn train_all(&mut self) -> Result<Vec<LocalUpdate>> {
+        let threads = self.config.parallelism.resolve();
+        map_items_mut(&mut self.clients, threads, |_, c| c.train_local())
+            .into_iter()
+            .collect()
+    }
+
     /// The simulated clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
@@ -256,6 +285,8 @@ impl FlEnv {
     ///
     /// Propagates model errors (impossible under normal use).
     pub fn evaluate_global(&mut self) -> Result<(f64, f64)> {
+        // The run's parallelism budget also governs evaluation kernels.
+        let _guard = self.config.parallelism.scoped();
         self.eval_net.set_param_vector(&self.global)?;
         self.eval_net.clear_masks();
         let loss_fn = CrossEntropyLoss::new();
@@ -270,10 +301,7 @@ impl FlEnv {
             batches += 1;
         }
         let n = self.test_set.len().max(1);
-        Ok((
-            loss_sum / batches.max(1) as f64,
-            correct as f64 / n as f64,
-        ))
+        Ok((loss_sum / batches.max(1) as f64, correct as f64 / n as f64))
     }
 
     /// The held-out test set.
@@ -325,10 +353,7 @@ mod tests {
         );
         assert!(matches!(err, Err(FlError::FleetMismatch { .. })));
         let err = FlEnv::new(ModelKind::LeNet, vec![], vec![], test, FlConfig::default());
-        assert!(matches!(
-            err,
-            Err(FlError::InvalidStrategyConfig { .. })
-        ));
+        assert!(matches!(err, Err(FlError::InvalidStrategyConfig { .. })));
     }
 
     #[test]
@@ -365,9 +390,7 @@ mod tests {
         let (extra, _) = SyntheticVision::mnist_like()
             .generate(20, 0, &mut rng)
             .unwrap();
-        let id = env
-            .join_client(presets::raspberry_pi(), extra)
-            .unwrap();
+        let id = env.join_client(presets::raspberry_pi(), extra).unwrap();
         assert_eq!(id, 2);
         assert_eq!(env.num_clients(), 3);
         assert_eq!(
@@ -379,10 +402,7 @@ mod tests {
     #[test]
     fn unknown_client_errors() {
         let env = small_env(4);
-        assert!(matches!(
-            env.client(9),
-            Err(FlError::UnknownClient { .. })
-        ));
+        assert!(matches!(env.client(9), Err(FlError::UnknownClient { .. })));
     }
 
     #[test]

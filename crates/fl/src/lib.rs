@@ -79,6 +79,8 @@ pub use sync::SyncFedAvg;
 
 #[doc(no_inline)]
 pub use helios_device::ResourceProfile;
+#[doc(no_inline)]
+pub use helios_tensor::ParallelismConfig;
 
 /// Crate-wide result alias carrying an [`FlError`].
 pub type Result<T> = std::result::Result<T, FlError>;

@@ -1,9 +1,7 @@
 //! Random partial-model training — the paper's "Random" baseline
 //! (federated dropout, Caldas et al. [12]).
 
-use crate::{
-    aggregate, FlEnv, FlError, MaskedUpdate, Result, RoundRecord, RunMetrics, Strategy,
-};
+use crate::{aggregate, FlEnv, FlError, MaskedUpdate, Result, RoundRecord, RunMetrics, Strategy};
 use helios_device::SimTime;
 use helios_nn::{MaskableUnits, ModelMask};
 use helios_tensor::TensorRng;
@@ -13,11 +11,7 @@ use helios_tensor::TensorRng;
 ///
 /// Shared by the Random baseline and by Helios's initial cycle; public so
 /// the `helios-core` crate can reuse it.
-pub fn random_mask(
-    units: &MaskableUnits,
-    keep: f64,
-    rng: &mut TensorRng,
-) -> ModelMask {
+pub fn random_mask(units: &MaskableUnits, keep: f64, rng: &mut TensorRng) -> ModelMask {
     let mut mask = ModelMask::all_active(units);
     for (i, &n) in units.0.iter().enumerate() {
         let k = ((keep * n as f64).ceil() as usize).clamp(1, n);
@@ -94,7 +88,9 @@ impl Strategy for RandomPartial {
         let mut rng = TensorRng::seed_from(env.config().seed ^ 0x52414e44); // "RAND"
         for cycle in 0..cycles {
             env.broadcast_global(cycle)?;
-            let mut updates = Vec::with_capacity(env.num_clients());
+            // Serial prologue: mask drawing consumes the strategy RNG,
+            // so it must stay in client order for reproducibility. The
+            // training itself is independent per client and fans out.
             let mut cycle_time = SimTime::ZERO;
             for i in 0..env.num_clients() {
                 let keep = self.keep_ratios[i];
@@ -108,8 +104,8 @@ impl Strategy for RandomPartial {
                     None => client.set_masks(None)?,
                 }
                 cycle_time = cycle_time.max(client.cycle_time());
-                updates.push(client.train_local()?);
             }
+            let updates = env.train_all()?;
             let mut global = env.global().to_vec();
             let masked: Vec<MaskedUpdate<'_>> = updates
                 .iter()

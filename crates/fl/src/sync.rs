@@ -34,14 +34,18 @@ impl Strategy for SyncFedAvg {
         let mut metrics = RunMetrics::new(self.name());
         for cycle in 0..cycles {
             env.broadcast_global(cycle)?;
-            let mut updates = Vec::with_capacity(env.num_clients());
+            // Serial prologue: masks and timing bookkeeping. Local
+            // training itself is independent per client, so it fans out
+            // across worker threads; the updates come back in client
+            // order and aggregation below stays serial, keeping runs
+            // bitwise identical to single-threaded execution.
             let mut cycle_time = SimTime::ZERO;
             for i in 0..env.num_clients() {
                 let client = env.client_mut(i)?;
                 client.set_masks(None)?;
                 cycle_time = cycle_time.max(client.cycle_time());
-                updates.push(client.train_local()?);
             }
+            let updates = env.train_all()?;
             let mut global = env.global().to_vec();
             let masked: Vec<MaskedUpdate<'_>> = updates
                 .iter()

@@ -55,7 +55,13 @@ pub fn topv_selection_probabilities(g: &[f32], v: usize, p_floor: f64) -> Vec<f6
         "p_floor must be in (0, 1], got {p_floor}"
     );
     let mut order: Vec<usize> = (0..g.len()).collect();
-    let key = |x: f32| if x.is_nan() { f32::NEG_INFINITY } else { x.abs() };
+    let key = |x: f32| {
+        if x.is_nan() {
+            f32::NEG_INFINITY
+        } else {
+            x.abs()
+        }
+    };
     order.sort_by(|&a, &b| key(g[b]).total_cmp(&key(g[a])));
     let lambda = g[order[v - 1]].abs().max(f32::EPSILON) as f64;
     let mut p = vec![0.0f64; g.len()];
@@ -158,8 +164,7 @@ mod tests {
         let half = vec![0.5; 32];
         let full = vec![1.0; 32];
         assert!(
-            masked_gradient_second_moment(&g, &half)
-                > masked_gradient_second_moment(&g, &full)
+            masked_gradient_second_moment(&g, &half) > masked_gradient_second_moment(&g, &full)
         );
         // p = 0.5 doubles the second moment → ε must be ≥ 1.
         assert!(!variance_constraint_holds(&g, &half, 0.5));
@@ -225,8 +230,7 @@ mod tests {
                 // Tightness: the constraint binds within 1% (otherwise we
                 // could shrink probabilities further).
                 let lhs = masked_gradient_second_moment(&g, &p);
-                let budget: f64 = (1.0 + eps)
-                    * g.iter().map(|&x| (x as f64).powi(2)).sum::<f64>();
+                let budget: f64 = (1.0 + eps) * g.iter().map(|&x| (x as f64).powi(2)).sum::<f64>();
                 assert!(
                     lhs > 0.98 * budget || p.iter().all(|&pi| pi >= 1.0 - 1e-9),
                     "seed {seed}, eps {eps}: slack too large ({lhs} vs {budget})"

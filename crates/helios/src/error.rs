@@ -77,9 +77,7 @@ mod tests {
         };
         assert!(e.to_string().contains("client 3"));
         assert!(e.source().is_none());
-        let e = HeliosError::from(FlError::InvalidStrategyConfig {
-            what: "x".into(),
-        });
+        let e = HeliosError::from(FlError::InvalidStrategyConfig { what: "x".into() });
         assert!(e.source().is_some());
     }
 }

@@ -132,10 +132,7 @@ pub fn resource_based(
 ///
 /// Same conditions as [`resource_based`].
 pub fn resource_based_env(env: &FlEnv, slowdown_threshold: f64) -> Result<Vec<usize>> {
-    let workload = env
-        .client(0)
-        .map_err(HeliosError::from)?
-        .cycle_workload();
+    let workload = env.client(0).map_err(HeliosError::from)?.cycle_workload();
     let profiles: Vec<&ResourceProfile> = (0..env.num_clients())
         .map(|i| env.client(i).map(|c| c.profile()))
         .collect::<std::result::Result<_, _>>()
@@ -199,8 +196,7 @@ mod tests {
         let s1 = presets::deeplens_cpu();
         let s2 = presets::raspberry_pi();
         let work = TrainingWorkload::new(1e12, 1e9, 1e6);
-        let ids =
-            resource_based(&[&capable, &s1, &s2], &work, 1.5).unwrap();
+        let ids = resource_based(&[&capable, &s1, &s2], &work, 1.5).unwrap();
         assert_eq!(ids, vec![1, 2]);
     }
 

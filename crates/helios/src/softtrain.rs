@@ -28,11 +28,7 @@ pub fn contributions_from_delta(
             continue;
         };
         for (unit, slot) in out[mid].iter_mut().enumerate() {
-            *slot = layout.neuron_delta_l1(
-                helios_nn::NeuronId { group: gi, unit },
-                prev,
-                curr,
-            );
+            *slot = layout.neuron_delta_l1(helios_nn::NeuronId { group: gi, unit }, prev, curr);
         }
     }
     out
@@ -442,8 +438,7 @@ mod tests {
         let prev = net.param_vector();
         let mut curr = prev.clone();
         // Perturb one conv-layer-0 unit's bias: group 0, unit 2.
-        let idx = layout
-            .neuron_param_indices(helios_nn::NeuronId { group: 0, unit: 2 });
+        let idx = layout.neuron_param_indices(helios_nn::NeuronId { group: 0, unit: 2 });
         curr[*idx.last().unwrap()] += 0.5;
         let c = contributions_from_delta(&layout, &u, &prev, &curr);
         assert_eq!(c.len(), 3, "lenet has 3 maskable layers");

@@ -274,12 +274,7 @@ impl HeliosStrategy {
         Ok(id)
     }
 
-    fn run_cycle(
-        &mut self,
-        env: &mut FlEnv,
-        cycle: usize,
-        metrics: &mut RunMetrics,
-    ) -> Result<()> {
+    fn run_cycle(&mut self, env: &mut FlEnv, cycle: usize, metrics: &mut RunMetrics) -> Result<()> {
         env.broadcast_global(cycle).map_err(HeliosError::from)?;
         let received_global = env.global().to_vec();
         // Install this cycle's masks.
@@ -294,14 +289,15 @@ impl HeliosStrategy {
         }
         // Local training; the synchronous cycle lasts as long as the
         // slowest participant (soft-training keeps stragglers near the
-        // capable pace).
-        let mut updates = Vec::with_capacity(env.num_clients());
+        // capable pace). Clients train in parallel — the updates come
+        // back in client order and everything downstream (contribution
+        // refresh, aggregation) stays serial, so cycles are bitwise
+        // identical to single-threaded runs.
         let mut cycle_time = SimTime::ZERO;
         for i in 0..env.num_clients() {
-            let client = env.client_mut(i)?;
-            cycle_time = cycle_time.max(client.cycle_time());
-            updates.push(client.train_local()?);
+            cycle_time = cycle_time.max(env.client(i)?.cycle_time());
         }
+        let updates = env.train_all()?;
         // Refresh contribution values U (Eq 1) for the next selection.
         for u in &updates {
             if self.trainers.contains_key(&u.client) {

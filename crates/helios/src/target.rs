@@ -113,10 +113,7 @@ pub fn fitted_keep_ratio(client: &mut Client, deadline: SimTime) -> Result<f64> 
 ///
 /// Returns [`HeliosError::InvalidConfig`] when `levels` is empty or holds
 /// a ratio outside `(0, 1]`.
-pub fn assign_predefined(
-    ranked_stragglers: &[usize],
-    levels: &[f64],
-) -> Result<Vec<(usize, f64)>> {
+pub fn assign_predefined(ranked_stragglers: &[usize], levels: &[f64]) -> Result<Vec<(usize, f64)>> {
     if levels.is_empty() {
         return Err(HeliosError::InvalidConfig {
             what: "volume levels must not be empty".into(),

@@ -118,8 +118,7 @@ fn walk(
             out.push(LayerCost {
                 name: "dense",
                 flops_forward: 2.0 * inf * outf * *in_keep * out_keep * b,
-                param_bytes: (inf * outf * *in_keep * out_keep + outf * out_keep)
-                    * BYTES_PER_PARAM,
+                param_bytes: (inf * outf * *in_keep * out_keep + outf * out_keep) * BYTES_PER_PARAM,
                 activation_bytes: outf * out_keep * b * BYTES_PER_PARAM,
             });
             *shape = vec![d.out_features()];
@@ -135,8 +134,7 @@ fn walk(
             out.push(LayerCost {
                 name: "conv2d",
                 flops_forward: 2.0 * patch * o * (oh * ow) as f64 * *in_keep * out_keep * b,
-                param_bytes: (patch * o * *in_keep * out_keep + o * out_keep)
-                    * BYTES_PER_PARAM,
+                param_bytes: (patch * o * *in_keep * out_keep + o * out_keep) * BYTES_PER_PARAM,
                 activation_bytes: o * out_keep * (oh * ow) as f64 * b * BYTES_PER_PARAM,
             });
             *shape = vec![spec.out_channels, oh, ow];

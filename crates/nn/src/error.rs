@@ -56,7 +56,10 @@ impl fmt::Display for NnError {
                 write!(f, "mask length {mask_len} does not match {units} units")
             }
             NnError::ParamLengthMismatch { expected, actual } => {
-                write!(f, "parameter vector length {actual}, network has {expected}")
+                write!(
+                    f,
+                    "parameter vector length {actual}, network has {expected}"
+                )
             }
             NnError::LabelOutOfRange { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")

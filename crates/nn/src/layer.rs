@@ -136,14 +136,12 @@ impl Layer {
     /// projection shortcuts) are skipped.
     pub fn visit_maskable(&mut self, f: &mut dyn FnMut(&mut dyn UnitMaskable)) {
         match self {
-            Layer::Dense(l)
-                if l.is_maskable() => {
-                    f(l);
-                }
-            Layer::Conv2d(l)
-                if l.is_maskable() => {
-                    f(l);
-                }
+            Layer::Dense(l) if l.is_maskable() => {
+                f(l);
+            }
+            Layer::Conv2d(l) if l.is_maskable() => {
+                f(l);
+            }
             Layer::Residual(l) => {
                 for inner in l.body_mut() {
                     inner.visit_maskable(f);

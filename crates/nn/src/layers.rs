@@ -164,10 +164,7 @@ impl Dense {
         f(&mut self.bias);
     }
 
-    pub(crate) fn for_each_param_grad_mut(
-        &mut self,
-        f: &mut dyn FnMut(&mut Tensor, &mut Tensor),
-    ) {
+    pub(crate) fn for_each_param_grad_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         f(&mut self.weight, &mut self.grad_weight);
         f(&mut self.bias, &mut self.grad_bias);
     }
@@ -295,10 +292,7 @@ impl Conv2d {
         f(&mut self.bias);
     }
 
-    pub(crate) fn for_each_param_grad_mut(
-        &mut self,
-        f: &mut dyn FnMut(&mut Tensor, &mut Tensor),
-    ) {
+    pub(crate) fn for_each_param_grad_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         f(&mut self.weight, &mut self.grad_weight);
         f(&mut self.bias, &mut self.grad_bias);
     }
@@ -589,7 +583,8 @@ mod tests {
     #[test]
     fn dense_mask_zeroes_output_and_freezes_unit() {
         let mut d = Dense::new(3, 4, &mut rng());
-        d.set_unit_mask(Some(vec![true, false, true, false])).unwrap();
+        d.set_unit_mask(Some(vec![true, false, true, false]))
+            .unwrap();
         let x = Tensor::ones(&[2, 3]);
         let y = d.forward(&x).unwrap();
         for i in 0..2 {
@@ -638,8 +633,7 @@ mod tests {
             dp.weight.as_mut_slice()[i] += eps;
             let mut dm = d.clone();
             dm.weight.as_mut_slice()[i] -= eps;
-            let num =
-                (dp.forward(&x).unwrap().sum() - dm.forward(&x).unwrap().sum()) / (2.0 * eps);
+            let num = (dp.forward(&x).unwrap().sum() - dm.forward(&x).unwrap().sum()) / (2.0 * eps);
             let ana = d.grad_weight.as_slice()[i];
             assert!((num - ana).abs() < 1e-2, "weight {i}: {num} vs {ana}");
         }

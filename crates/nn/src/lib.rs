@@ -63,5 +63,8 @@ pub use loss::CrossEntropyLoss;
 pub use network::{MaskableUnits, ModelMask, Network, NeuronId, NeuronLayout, ParamGroup};
 pub use optim::Sgd;
 
+#[doc(no_inline)]
+pub use helios_tensor::{ParallelismConfig, ParallelismGuard};
+
 /// Crate-wide result alias carrying an [`NnError`].
 pub type Result<T> = std::result::Result<T, NnError>;

@@ -99,8 +99,7 @@ mod tests {
     #[test]
     fn gradient_rows_sum_to_zero() {
         let loss = CrossEntropyLoss::new();
-        let logits =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
         let (_, grad) = loss.forward_backward(&logits, &[2, 0]).unwrap();
         for i in 0..2 {
             let row_sum: f32 = (0..3).map(|j| grad.get(&[i, j]).unwrap()).sum();
@@ -111,8 +110,7 @@ mod tests {
     #[test]
     fn gradient_matches_finite_difference() {
         let loss = CrossEntropyLoss::new();
-        let logits =
-            Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.9, -0.7], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.9, -0.7], &[2, 3]).unwrap();
         let labels = [1usize, 2];
         let (_, grad) = loss.forward_backward(&logits, &labels).unwrap();
         let eps = 1e-3f32;
@@ -121,9 +119,8 @@ mod tests {
             lp.as_mut_slice()[i] += eps;
             let mut lm = logits.clone();
             lm.as_mut_slice()[i] -= eps;
-            let num =
-                (loss.forward(&lp, &labels).unwrap() - loss.forward(&lm, &labels).unwrap())
-                    / (2.0 * eps);
+            let num = (loss.forward(&lp, &labels).unwrap() - loss.forward(&lm, &labels).unwrap())
+                / (2.0 * eps);
             let ana = grad.as_slice()[i];
             assert!((num - ana).abs() < 1e-3, "logit {i}: {num} vs {ana}");
         }

@@ -189,9 +189,10 @@ impl NeuronLayout {
 
     /// Iterates all neuron identifiers in canonical order.
     pub fn neuron_ids(&self) -> impl Iterator<Item = NeuronId> + '_ {
-        self.groups.iter().enumerate().flat_map(|(gi, g)| {
-            (0..g.units()).map(move |u| NeuronId { group: gi, unit: u })
-        })
+        self.groups
+            .iter()
+            .enumerate()
+            .flat_map(|(gi, g)| (0..g.units()).map(move |u| NeuronId { group: gi, unit: u }))
     }
 
     /// Flat parameter indices owned by one neuron (its weight fan-in plus
@@ -246,7 +247,9 @@ impl NeuronLayout {
         let mut out = vec![true; self.total_params];
         for (gi, g) in self.groups.iter().enumerate() {
             let Some(mid) = g.maskable_id else { continue };
-            let Some(layer_mask) = mask.layer(mid) else { continue };
+            let Some(layer_mask) = mask.layer(mid) else {
+                continue;
+            };
             for (unit, &keep) in layer_mask.iter().enumerate() {
                 if !keep {
                     for idx in self.neuron_param_indices(NeuronId { group: gi, unit }) {
@@ -384,7 +387,8 @@ impl Network {
         for layer in &mut self.layers {
             layer.for_each_param_mut(&mut |t| {
                 let n = t.len();
-                t.as_mut_slice().copy_from_slice(&params[offset..offset + n]);
+                t.as_mut_slice()
+                    .copy_from_slice(&params[offset..offset + n]);
                 offset += n;
             });
         }
@@ -463,11 +467,7 @@ impl Network {
             });
         }
         let pred = logits.argmax_rows()?;
-        let correct = pred
-            .iter()
-            .zip(labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        let correct = pred.iter().zip(labels).filter(|(p, l)| p == l).count();
         Ok(correct as f64 / labels.len().max(1) as f64)
     }
 }
@@ -655,8 +655,7 @@ mod tests {
         mask.set_layer(0, Some(vec![true, false]));
         let pm = layout.param_mask(&mask);
         assert_eq!(pm.len(), layout.total_params());
-        let inactive: Vec<usize> =
-            layout.neuron_param_indices(NeuronId { group: 0, unit: 1 });
+        let inactive: Vec<usize> = layout.neuron_param_indices(NeuronId { group: 0, unit: 1 });
         for i in inactive {
             assert!(!pm[i]);
         }
@@ -706,7 +705,10 @@ mod tests {
         let full = ModelMask::all_active(&units);
         assert_eq!(full.keep_ratio(&units), 1.0);
         let mut half = ModelMask::all_active(&units);
-        half.set_layer(1, Some(vec![true, true, true, true, false, false, false, false]));
+        half.set_layer(
+            1,
+            Some(vec![true, true, true, true, false, false, false, false]),
+        );
         assert!((half.keep_ratio(&units) - 0.6).abs() < 1e-9);
         assert_eq!(half.active_counts(&units), vec![2, 4]);
         assert!(half.is_active(0, 0));

@@ -98,7 +98,11 @@ impl Sgd {
                 let mut sq = 0.0f64;
                 for layer in net.layers_mut() {
                     layer.for_each_param_grad_mut(&mut |_, grad| {
-                        sq += grad.as_slice().iter().map(|&g| (g as f64).powi(2)).sum::<f64>();
+                        sq += grad
+                            .as_slice()
+                            .iter()
+                            .map(|&g| (g as f64).powi(2))
+                            .sum::<f64>();
                     });
                 }
                 let norm = sq.sqrt() as f32;

@@ -19,7 +19,11 @@ fn separable_images(
         for c in 0..channels {
             for y in 0..side {
                 for x in 0..side {
-                    let bright = if class == 0 { x < side / 2 } else { x >= side / 2 };
+                    let bright = if class == 0 {
+                        x < side / 2
+                    } else {
+                        x >= side / 2
+                    };
                     let base = if bright { 1.0 } else { 0.0 };
                     data[((i * channels + c) * side + y) * side + x] =
                         base + rng.uniform(-0.2, 0.2);
@@ -66,7 +70,9 @@ fn alexnet_learns_separable_problem() {
     let mut rng = TensorRng::seed_from(101);
     let mut net = models::alexnet(2, &mut rng);
     let (x, labels) = separable_images(32, 3, 16, &mut rng);
-    let (first, last) = train(&mut net, &x, &labels, 30, 0.05);
+    // lr 0.02: with momentum 0.9, 0.05 is unstable for some init draws
+    // (the vendored ChaCha stream differs from upstream rand_chacha).
+    let (first, last) = train(&mut net, &x, &labels, 30, 0.02);
     assert!(last < 0.5 * first, "loss should halve: {first} → {last}");
 }
 

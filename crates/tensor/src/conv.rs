@@ -5,6 +5,7 @@
 //! rank-2 `[out_channels, in_channels * kh * kw]` matrix so the forward
 //! pass is a single matrix product over the unrolled patches.
 
+use crate::parallel::{for_each_block, for_each_block2};
 use crate::{Result, Tensor, TensorError};
 use serde::{Deserialize, Serialize};
 
@@ -50,7 +51,10 @@ impl ConvSpec {
     ) -> Self {
         assert!(kernel > 0, "kernel must be nonzero");
         assert!(stride > 0, "stride must be nonzero");
-        assert!(in_channels > 0 && out_channels > 0, "channels must be nonzero");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channels must be nonzero"
+        );
         ConvSpec {
             in_channels,
             out_channels,
@@ -119,31 +123,36 @@ fn im2col(input: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
     let pl = spec.patch_len();
     let x = input.as_slice();
     let mut cols = vec![0.0f32; n * oh * ow * pl];
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * pl;
-                for ci in 0..c {
-                    for ky in 0..k {
-                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                        if iy < 0 || iy as usize >= h {
-                            continue;
-                        }
-                        let iy = iy as usize;
-                        for kx in 0..k {
-                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                            if ix < 0 || ix as usize >= w {
+    // Parallel over batch items: each item's rows live in a disjoint
+    // slice of `cols`, so workers never share output elements.
+    for_each_block(&mut cols, oh * ow * pl, oh * ow * pl, |first, chunk| {
+        for (bi, item) in chunk.chunks_mut(oh * ow * pl).enumerate() {
+            let ni = first + bi;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (oy * ow + ox) * pl;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            if iy < 0 || iy as usize >= h {
                                 continue;
                             }
-                            let ix = ix as usize;
-                            cols[row + (ci * k + ky) * k + kx] =
-                                x[((ni * c + ci) * h + iy) * w + ix];
+                            let iy = iy as usize;
+                            for kx in 0..k {
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let ix = ix as usize;
+                                item[row + (ci * k + ky) * k + kx] =
+                                    x[((ni * c + ci) * h + iy) * w + ix];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(cols, &[n * oh * ow, pl])
 }
 
@@ -162,31 +171,36 @@ fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> Resul
     }
     let cs = cols.as_slice();
     let mut out = vec![0.0f32; n * c * h * w];
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * pl;
-                for ci in 0..c {
-                    for ky in 0..k {
-                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                        if iy < 0 || iy as usize >= h {
-                            continue;
-                        }
-                        let iy = iy as usize;
-                        for kx in 0..k {
-                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                            if ix < 0 || ix as usize >= w {
+    // Parallel over batch items: the scatter-add for item `ni` only
+    // touches `out[ni * c*h*w ..]`, so per-item chunks are disjoint and
+    // the within-item accumulation order matches the serial loop.
+    for_each_block(&mut out, c * h * w, oh * ow * pl, |first, chunk| {
+        for (bi, item) in chunk.chunks_mut(c * h * w).enumerate() {
+            let ni = first + bi;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((ni * oh + oy) * ow + ox) * pl;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            if iy < 0 || iy as usize >= h {
                                 continue;
                             }
-                            let ix = ix as usize;
-                            out[((ni * c + ci) * h + iy) * w + ix] +=
-                                cs[row + (ci * k + ky) * k + kx];
+                            let iy = iy as usize;
+                            for kx in 0..k {
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let ix = ix as usize;
+                                item[(ci * h + iy) * w + ix] += cs[row + (ci * k + ky) * k + kx];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, c, h, w])
 }
 
@@ -240,16 +254,20 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
     let b = bias.as_slice();
     let o = spec.out_channels;
     let mut out = vec![0.0f32; n * o * oh * ow];
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * o;
-                for oc in 0..o {
-                    out[((ni * o + oc) * oh + oy) * ow + ox] = p[row + oc] + b[oc];
+    // Parallel over batch items: relayout rows → NCHW plus bias.
+    for_each_block(&mut out, o * oh * ow, o * oh * ow, |first, chunk| {
+        for (bi, item) in chunk.chunks_mut(o * oh * ow).enumerate() {
+            let ni = first + bi;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((ni * oh + oy) * ow + ox) * o;
+                    for oc in 0..o {
+                        item[(oc * oh + oy) * ow + ox] = p[row + oc] + b[oc];
+                    }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, o, oh, ow])
 }
 
@@ -279,21 +297,38 @@ pub fn conv2d_backward(
         });
     }
     let o = spec.out_channels;
-    // Re-layout grad_output from NCHW to rows [N*OH*OW, O].
+    // Re-layout grad_output from NCHW to rows [N*OH*OW, O], parallel
+    // over batch items (disjoint row blocks per item).
     let g = grad_output.as_slice();
     let mut rows = vec![0.0f32; n * oh * ow * o];
-    let mut grad_bias = vec![0.0f32; o];
-    for ni in 0..n {
-        for oc in 0..o {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let v = g[((ni * o + oc) * oh + oy) * ow + ox];
-                    rows[((ni * oh + oy) * ow + ox) * o + oc] = v;
-                    grad_bias[oc] += v;
+    for_each_block(&mut rows, oh * ow * o, oh * ow * o, |first, chunk| {
+        for (bi, item) in chunk.chunks_mut(oh * ow * o).enumerate() {
+            let ni = first + bi;
+            for oc in 0..o {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        item[(oy * ow + ox) * o + oc] = g[((ni * o + oc) * oh + oy) * ow + ox];
+                    }
                 }
             }
         }
-    }
+    });
+    // Bias gradient, parallel over output channels. For each channel the
+    // additions run in ascending (ni, oy, ox) order — the same order the
+    // serial relayout loop used — so sums are bitwise stable.
+    let mut grad_bias = vec![0.0f32; o];
+    for_each_block(&mut grad_bias, 1, n * oh * ow, |first, chunk| {
+        for (bi, acc) in chunk.iter_mut().enumerate() {
+            let oc = first + bi;
+            for ni in 0..n {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        *acc += g[((ni * o + oc) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+    });
     let grad_rows = Tensor::from_vec(rows, &[n * oh * ow, o])?;
     let cols = im2col(input, spec)?;
     // dW = gradᵀ × cols : [O, N*OH*OW] × [N*OH*OW, CKK] → [O, CKK]
@@ -365,30 +400,43 @@ pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<(Tensor, PoolIndice
     let x = input.as_slice();
     let mut out = vec![0.0f32; n * c * oh * ow];
     let mut idx = vec![0usize; n * c * oh * ow];
-    for ni in 0..n {
-        for ci in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best_v = f32::NEG_INFINITY;
-                    let mut best_i = 0usize;
-                    for ky in 0..spec.kernel {
-                        for kx in 0..spec.kernel {
-                            let iy = oy * spec.stride + ky;
-                            let ix = ox * spec.stride + kx;
-                            let fi = ((ni * c + ci) * h + iy) * w + ix;
-                            if x[fi] > best_v {
-                                best_v = x[fi];
-                                best_i = fi;
+    let window = spec.kernel * spec.kernel;
+    // Parallel over `N*C` planes; values and argmax indices are
+    // partitioned in lockstep so each worker fills both for its planes.
+    for_each_block2(
+        &mut out,
+        oh * ow,
+        &mut idx,
+        oh * ow,
+        oh * ow * window,
+        |first, out_chunk, idx_chunk| {
+            let planes = out_chunk
+                .chunks_mut(oh * ow)
+                .zip(idx_chunk.chunks_mut(oh * ow));
+            for (bi, (out_plane, idx_plane)) in planes.enumerate() {
+                let plane = first + bi; // == ni * c + ci
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best_v = f32::NEG_INFINITY;
+                        let mut best_i = 0usize;
+                        for ky in 0..spec.kernel {
+                            for kx in 0..spec.kernel {
+                                let iy = oy * spec.stride + ky;
+                                let ix = ox * spec.stride + kx;
+                                let fi = (plane * h + iy) * w + ix;
+                                if x[fi] > best_v {
+                                    best_v = x[fi];
+                                    best_i = fi;
+                                }
                             }
                         }
+                        out_plane[oy * ow + ox] = best_v;
+                        idx_plane[oy * ow + ox] = best_i;
                     }
-                    let oi = ((ni * c + ci) * oh + oy) * ow + ox;
-                    out[oi] = best_v;
-                    idx[oi] = best_i;
                 }
             }
-        }
-    }
+        },
+    );
     Ok((
         Tensor::from_vec(out, &[n, c, oh, ow])?,
         PoolIndices {
@@ -412,11 +460,24 @@ pub fn max_pool2d_backward(grad_output: &Tensor, indices: &PoolIndices) -> Resul
             expected: indices.indices.len(),
         });
     }
-    let mut grad = Tensor::zeros(&indices.input_dims);
-    let gi = grad.as_mut_slice();
-    for (&src, &g) in indices.indices.iter().zip(grad_output.as_slice()) {
-        gi[src] += g;
-    }
+    let d = &indices.input_dims;
+    let (h, w) = (d[2], d[3]);
+    let out_per_plane = indices.indices.len() / (d[0] * d[1]);
+    let g = grad_output.as_slice();
+    let mut grad = Tensor::zeros(d);
+    // Parallel over `N*C` planes: every argmax index recorded for a
+    // plane points inside that plane of the input, so the scatter-adds
+    // of different workers never collide.
+    for_each_block(grad.as_mut_slice(), h * w, out_per_plane, |first, chunk| {
+        for (bi, plane) in chunk.chunks_mut(h * w).enumerate() {
+            let p = first + bi;
+            let base = p * h * w;
+            let span = p * out_per_plane..(p + 1) * out_per_plane;
+            for (&src, &gv) in indices.indices[span.clone()].iter().zip(&g[span]) {
+                plane[src - base] += gv;
+            }
+        }
+    });
     Ok(grad)
 }
 
@@ -437,23 +498,30 @@ pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<Tensor> {
     let x = input.as_slice();
     let area = (spec.kernel * spec.kernel) as f32;
     let mut out = vec![0.0f32; n * c * oh * ow];
-    for ni in 0..n {
-        for ci in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0;
-                    for ky in 0..spec.kernel {
-                        for kx in 0..spec.kernel {
-                            let iy = oy * spec.stride + ky;
-                            let ix = ox * spec.stride + kx;
-                            acc += x[((ni * c + ci) * h + iy) * w + ix];
+    // Parallel over `N*C` planes.
+    for_each_block(
+        &mut out,
+        oh * ow,
+        oh * ow * spec.kernel * spec.kernel,
+        |first, chunk| {
+            for (bi, plane_out) in chunk.chunks_mut(oh * ow).enumerate() {
+                let plane = first + bi;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..spec.kernel {
+                            for kx in 0..spec.kernel {
+                                let iy = oy * spec.stride + ky;
+                                let ix = ox * spec.stride + kx;
+                                acc += x[(plane * h + iy) * w + ix];
+                            }
                         }
+                        plane_out[oy * ow + ox] = acc / area;
                     }
-                    out[((ni * c + ci) * oh + oy) * ow + ox] = acc / area;
                 }
             }
-        }
-    }
+        },
+    );
     Tensor::from_vec(out, &[n, c, oh, ow])
 }
 
@@ -488,22 +556,30 @@ pub fn avg_pool2d_backward(
     let g = grad_output.as_slice();
     let area = (spec.kernel * spec.kernel) as f32;
     let mut out = vec![0.0f32; n * c * h * w];
-    for ni in 0..n {
-        for ci in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let gv = g[((ni * c + ci) * oh + oy) * ow + ox] / area;
-                    for ky in 0..spec.kernel {
-                        for kx in 0..spec.kernel {
-                            let iy = oy * spec.stride + ky;
-                            let ix = ox * spec.stride + kx;
-                            out[((ni * c + ci) * h + iy) * w + ix] += gv;
+    // Parallel over `N*C` planes: each window of a plane spreads its
+    // gradient only within that plane's slice.
+    for_each_block(
+        &mut out,
+        h * w,
+        oh * ow * spec.kernel * spec.kernel,
+        |first, chunk| {
+            for (bi, plane_out) in chunk.chunks_mut(h * w).enumerate() {
+                let plane = first + bi;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let gv = g[(plane * oh + oy) * ow + ox] / area;
+                        for ky in 0..spec.kernel {
+                            for kx in 0..spec.kernel {
+                                let iy = oy * spec.stride + ky;
+                                let ix = ox * spec.stride + kx;
+                                plane_out[iy * w + ix] += gv;
+                            }
                         }
                     }
                 }
             }
-        }
-    }
+        },
+    );
     Tensor::from_vec(out, &[n, c, h, w])
 }
 
@@ -658,8 +734,7 @@ mod tests {
         let spec = PoolSpec::new(2, 2);
         let out = avg_pool2d(&input, &spec).unwrap();
         assert_eq!(out.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
-        let grad =
-            avg_pool2d_backward(&Tensor::ones(&[1, 1, 2, 2]), &spec, &[1, 1, 4, 4]).unwrap();
+        let grad = avg_pool2d_backward(&Tensor::ones(&[1, 1, 2, 2]), &spec, &[1, 1, 4, 4]).unwrap();
         // Each input cell belongs to exactly one window; gradient 1/4 each.
         assert!(grad.as_slice().iter().all(|&g| (g - 0.25).abs() < 1e-6));
     }

@@ -101,7 +101,12 @@ impl TensorRng {
 /// Xavier/Glorot uniform initialization: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`. Suited to layers followed by
 /// symmetric activations.
-pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Tensor {
+pub fn xavier_uniform(
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut TensorRng,
+) -> Tensor {
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     let mut t = Tensor::zeros(dims);
     for x in t.as_mut_slice() {

@@ -34,6 +34,7 @@ mod conv;
 mod error;
 mod init;
 mod ops;
+mod parallel;
 mod shape;
 mod tensor;
 
@@ -43,6 +44,10 @@ pub use conv::{
 };
 pub use error::TensorError;
 pub use init::{he_normal, uniform_init, xavier_uniform, TensorRng};
+pub use parallel::{
+    current_threads, for_each_block, for_each_block2, map_indexed, map_items_mut,
+    ParallelismConfig, ParallelismGuard,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,5 +1,6 @@
 //! Linear-algebra and reduction operations on [`Tensor`].
 
+use crate::parallel::for_each_block;
 use crate::{Result, Tensor, TensorError};
 
 impl Tensor {
@@ -7,7 +8,9 @@ impl Tensor {
     ///
     /// The inner loop is written in `i-k-j` order so the compiler can
     /// vectorize the row-wise accumulation; this is the hot path of every
-    /// dense layer in the workspace.
+    /// dense layer in the workspace. Rows of the output are computed in
+    /// parallel (each worker owns a disjoint row block, so results are
+    /// bitwise identical to serial execution — see [`crate::ParallelismConfig`]).
     ///
     /// # Errors
     ///
@@ -41,19 +44,21 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &b_kj) in o_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b_kj;
+        for_each_block(&mut out, n, k * n, |first_row, block| {
+            for (bi, o_row) in block.chunks_mut(n).enumerate() {
+                let i = first_row + bi;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (kk, &a_ik) in a_row.iter().enumerate() {
+                    if a_ik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (o, &b_kj) in o_row.iter_mut().zip(b_row) {
+                        *o += a_ik * b_kj;
+                    }
                 }
             }
-        }
+        });
         Tensor::from_vec(out, &[m, n])
     }
 

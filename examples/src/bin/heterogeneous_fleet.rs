@@ -55,13 +55,21 @@ fn main() -> Result<(), Box<dyn Error>> {
     // --- §IV.C volume determination --------------------------------------
     let deadline = env.client(0)?.cycle_time();
     println!("\ncapable pace: {deadline} per cycle");
-    println!("{:<28} {:>12} {:>12} {:>12}", "device", "full cycle", "keep", "masked");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "device", "full cycle", "keep", "masked"
+    );
     for &i in &white_box {
         let full = env.client(i)?.cycle_time();
         let keep = target::fitted_keep_ratio(env.client_mut(i)?, deadline)?;
         let masked = target::masked_cycle_time(env.client_mut(i)?, keep)?;
         let name = env.client(i)?.profile().name().to_string();
-        println!("{name:<28} {:>12} {:>11.0}% {:>12}", full.to_string(), keep * 100.0, masked.to_string());
+        println!(
+            "{name:<28} {:>12} {:>11.0}% {:>12}",
+            full.to_string(),
+            keep * 100.0,
+            masked.to_string()
+        );
     }
 
     // --- the full pipeline, end to end ------------------------------------

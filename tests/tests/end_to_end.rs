@@ -74,7 +74,10 @@ fn helios_matches_sync_pace_of_capable_devices() {
         .expect("client 3")
         .cycle_time()
         .as_secs_f64();
-    assert!(straggler_cycle > 2.0 * capable_cycle, "fleet is heterogeneous");
+    assert!(
+        straggler_cycle > 2.0 * capable_cycle,
+        "fleet is heterogeneous"
+    );
     let m = HeliosStrategy::new(HeliosConfig::default())
         .run(&mut helios_env, 3)
         .expect("helios runs");
@@ -136,7 +139,11 @@ fn global_model_changes_only_through_aggregation() {
     let mut env = build_env(ModelKind::LeNet, 1, 1, 9);
     let before = env.global().to_vec();
     // Client-side training must not mutate the server's global vector.
-    let _ = env.client_mut(0).expect("client").train_local().expect("train");
+    let _ = env
+        .client_mut(0)
+        .expect("client")
+        .train_local()
+        .expect("train");
     assert_eq!(env.global(), &before[..]);
     let mut s = SyncFedAvg::new();
     let _ = s.run(&mut env, 1).expect("runs");
@@ -179,7 +186,11 @@ fn skip_regulator_bounds_neuron_starvation_end_to_end() {
         .network_mut()
         .maskable_units();
     let total: usize = units.total();
-    let selected: usize = units.0.iter().map(|&n| ((keep * n as f64).ceil() as usize).clamp(1, n)).sum();
+    let selected: usize = units
+        .0
+        .iter()
+        .map(|&n| ((keep * n as f64).ceil() as usize).clamp(1, n))
+        .sum();
     let threshold = 1.0 + total as f64 / selected as f64;
     let cycles = 12;
     // Track per-unit skip streaks from the straggler's masks.

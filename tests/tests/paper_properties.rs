@@ -16,7 +16,9 @@ fn build_env(non_iid: bool, seed: u64) -> FlEnv {
     let mut rng = TensorRng::seed_from(seed);
     let mut spec = SyntheticVision::mnist_like();
     spec.noise_std = 1.0;
-    let (train, test) = spec.generate(80 * clients, 120, &mut rng).expect("generate");
+    let (train, test) = spec
+        .generate(80 * clients, 120, &mut rng)
+        .expect("generate");
     let idx = if non_iid {
         partition::label_shards(train.labels(), clients, 2, &mut rng).expect("shards")
     } else {

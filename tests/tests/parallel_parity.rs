@@ -1,0 +1,233 @@
+//! Serial-vs-parallel parity suite: the parallel execution engine must
+//! produce **bitwise identical** `f32` results at every thread count.
+//!
+//! Each kernel partitions its output structurally (rows / batch items /
+//! pooling planes), so every element is computed by exactly one thread
+//! in exactly the serial per-element order — these tests pin that
+//! property down for each kernel and for whole federated rounds.
+
+use helios_core::{HeliosConfig, HeliosStrategy};
+use helios_data::{partition, Dataset, SyntheticVision};
+use helios_device::presets;
+use helios_fl::{FlConfig, FlEnv, RandomPartial, Strategy, SyncFedAvg};
+use helios_nn::models::ModelKind;
+use helios_tensor::{
+    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, max_pool2d, max_pool2d_backward,
+    uniform_init, ConvSpec, ParallelismConfig, PoolSpec, Tensor, TensorRng,
+};
+
+/// Thread counts compared against the serial baseline.
+const WIDTHS: [usize; 3] = [2, 4, 8];
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ParallelismConfig::with_threads(n).scoped();
+    f()
+}
+
+/// Bitwise tensor comparison: `f32::eq` would conflate `0.0` / `-0.0`
+/// and miss NaN payloads, so compare raw bit patterns.
+fn assert_bitwise(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.dims(), b.dims(), "{what}: dims");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn matmul_parity_across_shapes_and_threads() {
+    // Shapes straddle the engine's small-work cutoff: tiny products stay
+    // serial, the larger ones genuinely fan out.
+    for (m, k, n) in [
+        (1, 1, 1),
+        (3, 5, 2),
+        (17, 9, 13),
+        (64, 96, 80),
+        (128, 64, 50),
+    ] {
+        for seed in [0u64, 7, 99] {
+            let mut rng = TensorRng::seed_from(seed);
+            let a = uniform_init(&[m, k], -1.0, 1.0, &mut rng);
+            let b = uniform_init(&[k, n], -1.0, 1.0, &mut rng);
+            let serial = with_threads(1, || a.matmul(&b).unwrap());
+            for w in WIDTHS {
+                let parallel = with_threads(w, || a.matmul(&b).unwrap());
+                assert_bitwise(&serial, &parallel, &format!("matmul {m}x{k}x{n} w={w}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn conv2d_parity_across_shapes_and_threads() {
+    for (n, c, h, o, kernel, stride, padding) in [
+        (1, 1, 5, 1, 3, 1, 0),
+        (2, 3, 9, 4, 3, 1, 1),
+        (8, 3, 16, 8, 3, 2, 1),
+        (4, 8, 12, 16, 5, 1, 2),
+    ] {
+        for seed in [1u64, 42] {
+            let spec = ConvSpec::new(c, o, kernel, stride, padding);
+            let mut rng = TensorRng::seed_from(seed);
+            let x = uniform_init(&[n, c, h, h], -1.0, 1.0, &mut rng);
+            let wgt = uniform_init(&spec.weight_dims(), -0.5, 0.5, &mut rng);
+            let bias = uniform_init(&[o], -0.1, 0.1, &mut rng);
+            let serial = with_threads(1, || conv2d(&x, &wgt, &bias, &spec).unwrap());
+            for w in WIDTHS {
+                let parallel = with_threads(w, || conv2d(&x, &wgt, &bias, &spec).unwrap());
+                assert_bitwise(
+                    &serial,
+                    &parallel,
+                    &format!("conv2d n={n} c={c} h={h} w={w}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conv2d_backward_parity_across_shapes_and_threads() {
+    for (n, c, h, o, kernel, stride, padding) in [
+        (1, 1, 5, 1, 3, 1, 0),
+        (2, 3, 9, 4, 3, 1, 1),
+        (8, 3, 16, 8, 3, 2, 1),
+    ] {
+        for seed in [2u64, 77] {
+            let spec = ConvSpec::new(c, o, kernel, stride, padding);
+            let (oh, ow) = spec.output_hw(h, h);
+            let mut rng = TensorRng::seed_from(seed);
+            let x = uniform_init(&[n, c, h, h], -1.0, 1.0, &mut rng);
+            let wgt = uniform_init(&spec.weight_dims(), -0.5, 0.5, &mut rng);
+            let gout = uniform_init(&[n, o, oh, ow], -1.0, 1.0, &mut rng);
+            let serial = with_threads(1, || conv2d_backward(&x, &wgt, &gout, &spec).unwrap());
+            for w in WIDTHS {
+                let parallel = with_threads(w, || conv2d_backward(&x, &wgt, &gout, &spec).unwrap());
+                let tag = format!("conv2d_backward n={n} c={c} h={h} w={w}");
+                assert_bitwise(
+                    &serial.grad_input,
+                    &parallel.grad_input,
+                    &format!("{tag} dX"),
+                );
+                assert_bitwise(
+                    &serial.grad_weight,
+                    &parallel.grad_weight,
+                    &format!("{tag} dW"),
+                );
+                assert_bitwise(&serial.grad_bias, &parallel.grad_bias, &format!("{tag} db"));
+            }
+        }
+    }
+}
+
+#[test]
+fn pooling_parity_across_shapes_and_threads() {
+    for (n, c, h, kernel, stride) in [(1, 1, 4, 2, 2), (2, 3, 9, 3, 2), (6, 8, 16, 2, 2)] {
+        for seed in [3u64, 55] {
+            let spec = PoolSpec::new(kernel, stride);
+            let (oh, ow) = spec.output_hw(h, h);
+            let mut rng = TensorRng::seed_from(seed);
+            let x = uniform_init(&[n, c, h, h], -1.0, 1.0, &mut rng);
+            let gout = uniform_init(&[n, c, oh, ow], -1.0, 1.0, &mut rng);
+            let (max_s, idx_s) = with_threads(1, || max_pool2d(&x, &spec).unwrap());
+            let max_back_s = with_threads(1, || max_pool2d_backward(&gout, &idx_s).unwrap());
+            let avg_s = with_threads(1, || avg_pool2d(&x, &spec).unwrap());
+            let avg_back_s =
+                with_threads(1, || avg_pool2d_backward(&gout, &spec, x.dims()).unwrap());
+            for w in WIDTHS {
+                let tag = format!("pool n={n} c={c} h={h} w={w}");
+                let (max_p, idx_p) = with_threads(w, || max_pool2d(&x, &spec).unwrap());
+                assert_bitwise(&max_s, &max_p, &format!("{tag} max fwd"));
+                let max_back_p = with_threads(w, || max_pool2d_backward(&gout, &idx_p).unwrap());
+                assert_bitwise(&max_back_s, &max_back_p, &format!("{tag} max bwd"));
+                let avg_p = with_threads(w, || avg_pool2d(&x, &spec).unwrap());
+                assert_bitwise(&avg_s, &avg_p, &format!("{tag} avg fwd"));
+                let avg_back_p =
+                    with_threads(w, || avg_pool2d_backward(&gout, &spec, x.dims()).unwrap());
+                assert_bitwise(&avg_back_s, &avg_back_p, &format!("{tag} avg bwd"));
+            }
+        }
+    }
+}
+
+/// Builds the standard two-client mixed fleet with an explicit thread
+/// budget in its config.
+fn env_with_threads(seed: u64, threads: usize) -> FlEnv {
+    let mut rng = TensorRng::seed_from(seed);
+    let clients = 2;
+    let (train, test) = SyntheticVision::mnist_like()
+        .generate(30 * clients, 30, &mut rng)
+        .expect("generate");
+    let shards: Vec<Dataset> = partition::iid(train.len(), clients, &mut rng)
+        .into_iter()
+        .map(|idx| train.subset(&idx).expect("subset"))
+        .collect();
+    FlEnv::new(
+        ModelKind::LeNet,
+        presets::mixed_fleet(1, 1),
+        shards,
+        test,
+        FlConfig {
+            seed,
+            parallelism: ParallelismConfig::with_threads(threads),
+            ..FlConfig::default()
+        },
+    )
+    .expect("env")
+}
+
+fn assert_global_bitwise(a: &FlEnv, b: &FlEnv, what: &str) {
+    assert_eq!(a.global().len(), b.global().len(), "{what}: global length");
+    for (i, (x, y)) in a.global().iter().zip(b.global()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: global[{i}] ({x} vs {y})");
+    }
+}
+
+#[test]
+fn sync_fedavg_round_parity() {
+    let mut serial_env = env_with_threads(201, 1);
+    let serial = SyncFedAvg::new()
+        .run(&mut serial_env, 2)
+        .expect("serial run");
+    for threads in WIDTHS {
+        let mut env = env_with_threads(201, threads);
+        let metrics = SyncFedAvg::new().run(&mut env, 2).expect("parallel run");
+        assert_eq!(serial.records(), metrics.records(), "threads={threads}");
+        assert_global_bitwise(&serial_env, &env, &format!("sync threads={threads}"));
+    }
+}
+
+#[test]
+fn random_partial_round_parity() {
+    let ratios = vec![None, Some(0.4)];
+    let mut serial_env = env_with_threads(202, 1);
+    let serial = RandomPartial::new(ratios.clone())
+        .run(&mut serial_env, 2)
+        .expect("serial run");
+    for threads in WIDTHS {
+        let mut env = env_with_threads(202, threads);
+        let metrics = RandomPartial::new(ratios.clone())
+            .run(&mut env, 2)
+            .expect("parallel run");
+        assert_eq!(serial.records(), metrics.records(), "threads={threads}");
+        assert_global_bitwise(&serial_env, &env, &format!("random threads={threads}"));
+    }
+}
+
+#[test]
+fn helios_round_parity() {
+    let mut serial_env = env_with_threads(203, 1);
+    let serial = HeliosStrategy::new(HeliosConfig::default())
+        .run(&mut serial_env, 2)
+        .expect("serial run");
+    for threads in WIDTHS {
+        let mut env = env_with_threads(203, threads);
+        let metrics = HeliosStrategy::new(HeliosConfig::default())
+            .run(&mut env, 2)
+            .expect("parallel run");
+        assert_eq!(serial.records(), metrics.records(), "threads={threads}");
+        assert_global_bitwise(&serial_env, &env, &format!("helios threads={threads}"));
+    }
+}

@@ -2,10 +2,30 @@
 
 use helios_core::softtrain::{select_layer_mask, SoftTrainer};
 use helios_core::target::{keep_counts, probe_mask};
-use helios_fl::{aggregate, MaskedUpdate};
+use helios_data::{partition, Dataset, SyntheticVision};
+use helios_device::presets;
+use helios_fl::{aggregate, FlConfig, FlEnv, MaskedUpdate, Strategy, SyncFedAvg};
+use helios_nn::models::ModelKind;
 use helios_nn::{models, MaskableUnits, ModelMask, NeuronId};
-use helios_tensor::TensorRng;
+use helios_tensor::{
+    conv2d, conv2d_backward, uniform_init, ConvSpec, ParallelismConfig, Tensor, TensorRng,
+};
 use proptest::prelude::*;
+
+/// Runs `f` under a fixed ambient kernel thread budget.
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ParallelismConfig::with_threads(n).scoped();
+    f()
+}
+
+/// Bitwise equality of two tensors (catches even sign-of-zero drift).
+fn bitwise_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
 
 proptest! {
     /// Aggregating identical replicas is the identity, regardless of
@@ -214,5 +234,96 @@ proptest! {
             }
         }
         prop_assert_eq!(inactive, expected);
+    }
+
+    /// Matmul output is bitwise identical at every thread width, for
+    /// random shapes straddling the engine's small-work cutoff.
+    #[test]
+    fn matmul_parity_random_shapes_and_widths(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        threads in 2usize..9,
+        seed in 0u64..500,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let a = uniform_init(&[m, k], -1.0, 1.0, &mut rng);
+        let b = uniform_init(&[k, n], -1.0, 1.0, &mut rng);
+        let serial = with_threads(1, || a.matmul(&b)).expect("matmul");
+        let parallel = with_threads(threads, || a.matmul(&b)).expect("matmul");
+        prop_assert!(
+            bitwise_equal(&serial, &parallel),
+            "matmul [{m},{k}]x[{k},{n}] diverges at {threads} threads"
+        );
+    }
+
+    /// conv2d forward and backward are bitwise identical at every thread
+    /// width, for random geometry.
+    #[test]
+    fn conv_parity_random_shapes_and_widths(
+        batch in 1usize..5,
+        c in 1usize..4,
+        h in 5usize..14,
+        o in 1usize..6,
+        threads in 2usize..9,
+        seed in 0u64..500,
+    ) {
+        let spec = ConvSpec::new(c, o, 3, 1, 1);
+        let (oh, ow) = spec.output_hw(h, h);
+        let mut rng = TensorRng::seed_from(seed);
+        let x = uniform_init(&[batch, c, h, h], -1.0, 1.0, &mut rng);
+        let w = uniform_init(&spec.weight_dims(), -0.5, 0.5, &mut rng);
+        let bias = uniform_init(&[o], -0.1, 0.1, &mut rng);
+        let gout = uniform_init(&[batch, o, oh, ow], -1.0, 1.0, &mut rng);
+        let fwd_s = with_threads(1, || conv2d(&x, &w, &bias, &spec)).expect("fwd");
+        let bwd_s = with_threads(1, || conv2d_backward(&x, &w, &gout, &spec)).expect("bwd");
+        let fwd_p = with_threads(threads, || conv2d(&x, &w, &bias, &spec)).expect("fwd");
+        let bwd_p =
+            with_threads(threads, || conv2d_backward(&x, &w, &gout, &spec)).expect("bwd");
+        prop_assert!(bitwise_equal(&fwd_s, &fwd_p), "conv2d forward diverges");
+        prop_assert!(bitwise_equal(&bwd_s.grad_input, &bwd_p.grad_input), "dX diverges");
+        prop_assert!(bitwise_equal(&bwd_s.grad_weight, &bwd_p.grad_weight), "dW diverges");
+        prop_assert!(bitwise_equal(&bwd_s.grad_bias, &bwd_p.grad_bias), "db diverges");
+    }
+
+    /// Determinism regression: a federated run with the same seed yields
+    /// identical metrics records and a bitwise-identical global model
+    /// whatever the thread budget.
+    #[test]
+    fn run_metrics_independent_of_thread_budget(
+        threads in 2usize..9,
+        seed in 0u64..40,
+    ) {
+        let build = |budget: usize| -> FlEnv {
+            let mut rng = TensorRng::seed_from(seed);
+            let (train, test) = SyntheticVision::mnist_like()
+                .generate(24, 12, &mut rng)
+                .expect("generate");
+            let shards: Vec<Dataset> = partition::iid(train.len(), 2, &mut rng)
+                .into_iter()
+                .map(|idx| train.subset(&idx).expect("subset"))
+                .collect();
+            FlEnv::new(
+                ModelKind::LeNet,
+                presets::mixed_fleet(1, 1),
+                shards,
+                test,
+                FlConfig {
+                    seed,
+                    batch_size: 8,
+                    parallelism: ParallelismConfig::with_threads(budget),
+                    ..FlConfig::default()
+                },
+            )
+            .expect("env")
+        };
+        let mut serial_env = build(1);
+        let mut parallel_env = build(threads);
+        let serial = SyncFedAvg::new().run(&mut serial_env, 1).expect("run");
+        let parallel = SyncFedAvg::new().run(&mut parallel_env, 1).expect("run");
+        prop_assert_eq!(serial.records(), parallel.records());
+        for (x, y) in serial_env.global().iter().zip(parallel_env.global()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

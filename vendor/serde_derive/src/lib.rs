@@ -1,0 +1,434 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace serde stub.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`, which are
+//! unavailable offline): the input item is parsed by walking its token
+//! trees, and the impl is generated as a string and re-parsed. Supports
+//! exactly the shapes this workspace derives on:
+//!
+//! - structs with named fields (honoring `#[serde(default)]` and
+//!   `#[serde(default = "path")]`)
+//! - newtype tuple structs
+//! - enums of unit variants (serialized as the variant-name string)
+//!
+//! Anything else (generics, data-carrying enums, other serde
+//! attributes) produces a `compile_error!` naming the limitation.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled during deserialization.
+enum FieldDefault {
+    /// No attribute: the field is required.
+    Required,
+    /// `#[serde(default)]`: `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---- parsing ----
+
+/// Consumes leading outer attributes, returning the `serde(...)` metas
+/// found (inner token streams of the parenthesized group).
+fn take_attrs(trees: &[TokenTree], pos: &mut usize) -> Result<Vec<TokenStream>, String> {
+    let mut serde_metas = Vec::new();
+    loop {
+        match (trees.get(*pos), trees.get(*pos + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        match inner.get(1) {
+                            Some(TokenTree::Group(meta))
+                                if meta.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                serde_metas.push(meta.stream());
+                            }
+                            _ => return Err("malformed #[serde(...)] attribute".into()),
+                        }
+                    }
+                }
+                *pos += 2;
+            }
+            _ => return Ok(serde_metas),
+        }
+    }
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility prefix.
+fn skip_vis(trees: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = trees.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = trees.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Interprets the collected `serde(...)` metas of one field.
+fn field_default(metas: &[TokenStream]) -> Result<FieldDefault, String> {
+    let mut default = FieldDefault::Required;
+    for meta in metas {
+        let trees: Vec<TokenTree> = meta.clone().into_iter().collect();
+        let mut i = 0;
+        while i < trees.len() {
+            match &trees[i] {
+                TokenTree::Ident(id) if id.to_string() == "default" => {
+                    // Either bare `default` or `default = "path"`.
+                    if let Some(TokenTree::Punct(p)) = trees.get(i + 1) {
+                        if p.as_char() == '=' {
+                            match trees.get(i + 2) {
+                                Some(TokenTree::Literal(lit)) => {
+                                    let s = lit.to_string();
+                                    let path = s
+                                        .strip_prefix('"')
+                                        .and_then(|s| s.strip_suffix('"'))
+                                        .ok_or("serde(default = ...) expects a string literal")?;
+                                    default = FieldDefault::Path(path.to_string());
+                                    i += 3;
+                                    continue;
+                                }
+                                _ => {
+                                    return Err(
+                                        "serde(default = ...) expects a string literal".into()
+                                    )
+                                }
+                            }
+                        }
+                    }
+                    default = FieldDefault::Std;
+                    i += 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                other => {
+                    return Err(format!(
+                    "unsupported serde attribute `{other}` (stub derive supports only `default`)"
+                ))
+                }
+            }
+        }
+    }
+    Ok(default)
+}
+
+/// Parses the fields of a braced (named-field) struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let trees: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < trees.len() {
+        let metas = take_attrs(&trees, &mut pos)?;
+        if pos >= trees.len() {
+            break;
+        }
+        skip_vis(&trees, &mut pos);
+        let name = match trees.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match trees.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: consume trees until a comma outside angle
+        // brackets. Groups are atomic token trees, so only `<`/`>`
+        // puncts need depth tracking.
+        let mut angle_depth = 0i32;
+        while let Some(tree) = trees.get(pos) {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        pos += 1; // consume the comma (or run off the end)
+        fields.push(Field {
+            name,
+            default: field_default(&metas)?,
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a parenthesized (tuple) struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let trees: Vec<TokenTree> = body.into_iter().collect();
+    if trees.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for tree in &trees {
+        trailing_comma = false;
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+/// Parses the variants of an enum body, requiring all to be unit.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let trees: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < trees.len() {
+        take_attrs(&trees, &mut pos)?;
+        if pos >= trees.len() {
+            break;
+        }
+        let name = match trees.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        match trees.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; stub derive supports only unit enums"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err("explicit discriminants are not supported by the stub derive".into())
+            }
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    take_attrs(&trees, &mut pos)?;
+    skip_vis(&trees, &mut pos);
+    let kind = match trees.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+    let name = match trees.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = trees.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "`{name}` is generic; the stub derive supports only non-generic items"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match trees.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => Ok(Item::NewtypeStruct { name }),
+                    n => Err(format!(
+                        "`{name}` has {n} tuple fields; stub derive supports only newtypes"
+                    )),
+                }
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match trees.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::UnitEnum {
+                name,
+                variants: parse_unit_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---- code generation ----
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                let fname = &f.name;
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{fname}\"), \
+                     ::serde::Serialize::to_value(&self.{fname})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                            ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::value::Value::Map(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::value::Value::Str(\
+                     ::std::string::String::from(\"{v}\")),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                let missing = match &f.default {
+                    FieldDefault::Required => format!(
+                        "return ::std::result::Result::Err(::serde::de::Error::custom(\
+                         \"missing field `{fname}` in {name}\"))"
+                    ),
+                    FieldDefault::Std => "::std::default::Default::default()".to_string(),
+                    FieldDefault::Path(path) => format!("{path}()"),
+                };
+                inits.push_str(&format!(
+                    "{fname}: match ::serde::value::find(__map, \"{fname}\") {{\n\
+                         ::std::option::Option::Some(__x) => \
+                            ::serde::Deserialize::from_value(__x)?,\n\
+                         ::std::option::Option::None => {missing},\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value) \
+                        -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         let __map = match __v {{\n\
+                             ::serde::value::Value::Map(__m) => __m,\n\
+                             _ => return ::std::result::Result::Err(\
+                                ::serde::de::Error::custom(\"expected map for {name}\")),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::value::Value) \
+                    -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                     ::std::result::Result::Ok({name}(\
+                        ::serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value) \
+                        -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {arms}\
+                                 __other => ::std::result::Result::Err(\
+                                    ::serde::de::Error::custom(::std::format!(\
+                                    \"unknown variant `{{}}` for {name}\", __other))),\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                                \"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
