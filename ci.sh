@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# CI gate for the Helios workspace: formatting, lints, build, tests, and
-# the thread-scaling microbench (emits results/BENCH_parallel.json).
+# CI gate for the Helios workspace: formatting, lints, docs, build,
+# tests, the thread-scaling microbench (emits
+# results/BENCH_parallel.json), and the network-simulation bench (emits
+# results/BENCH_net.json and self-checks that a soft-trained straggler's
+# upload frame is smaller than the full-model frame).
 #
 # Usage: ./ci.sh [--skip-bench]
 set -euo pipefail
@@ -22,6 +25,14 @@ cargo fmt --all -- --check
 step "cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+step "cargo doc (warnings are errors)"
+# Scoped to first-party crates: the vendored deps are workspace members
+# but their docs are upstream's, not ours to lint.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+    -p helios-tensor -p helios-nn -p helios-data -p helios-device \
+    -p helios-net -p helios-fl -p helios-core -p helios-bench \
+    -p helios-examples -p helios-integration
+
 step "cargo build --release"
 cargo build --release --workspace
 
@@ -31,6 +42,12 @@ cargo test -q --workspace
 if [ "$SKIP_BENCH" -eq 0 ]; then
     step "thread-scaling microbench (results/BENCH_parallel.json)"
     cargo run --release -p helios-bench --bin bench_parallel
+
+    step "network-simulation bench (results/BENCH_net.json)"
+    # bench_net re-parses its own JSON and exits nonzero unless every
+    # soft-trained straggler's wire frame is smaller than a full one.
+    cargo run --release -p helios-bench --bin bench_net
+    [ -s results/BENCH_net.json ] || { echo "BENCH_net.json missing or empty" >&2; exit 1; }
 else
     step "skipping microbench (--skip-bench)"
 fi

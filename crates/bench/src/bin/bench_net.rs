@@ -1,0 +1,230 @@
+//! **BENCH_net** — simulated-network cost of a federated round.
+//!
+//! Runs the same mixed fleet twice through the simulated transport with
+//! constrained straggler links and mild fault injection: once under
+//! synchronous FedAvg (every device uploads the full model) and once
+//! under Helios (stragglers soft-train and upload the compact masked
+//! wire layout). Writes `results/BENCH_net.json` with per-device bytes
+//! on the wire, retry/timeout counts, and round times, then re-parses
+//! its own output and asserts that every straggler's upload frame is
+//! genuinely smaller than the full-model frame — exiting nonzero
+//! otherwise.
+
+use helios_bench::results_dir;
+use helios_core::{HeliosConfig, HeliosStrategy};
+use helios_data::{partition, Dataset, SyntheticVision};
+use helios_device::presets;
+use helios_fl::{
+    FaultConfig, FlConfig, FlEnv, LinkProfile, NetConfig, Strategy, SyncFedAvg, WireSize,
+};
+use helios_nn::models::ModelKind;
+use helios_tensor::TensorRng;
+use serde::{Deserialize, Serialize};
+
+const SEED: u64 = 42;
+const CYCLES: usize = 3;
+const CAPABLE: usize = 2;
+const STRAGGLERS: usize = 2;
+
+/// Capable devices sit behind a fast, low-latency link.
+const CAPABLE_LINK: LinkProfile = LinkProfile::constrained(50e6, 0.01);
+/// Stragglers get the paper's constrained edge uplink, with jitter.
+const STRAGGLER_LINK: LinkProfile = LinkProfile::constrained(2e6, 0.05).with_jitter(0.01);
+
+#[derive(Debug, Serialize, Deserialize)]
+struct DeviceReport {
+    client: usize,
+    straggler: bool,
+    upload_bytes: u64,
+    download_bytes: u64,
+    retries: u64,
+    missed_cycles: u64,
+    /// Size of one upload frame under this device's final mask state.
+    upload_frame_bytes: usize,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct RunReport {
+    strategy: String,
+    cycles: usize,
+    total_sim_time_s: f64,
+    bytes_on_wire: u64,
+    delivered_bytes: u64,
+    retries: u64,
+    corruptions_detected: u64,
+    timeouts: u64,
+    failures: u64,
+    devices: Vec<DeviceReport>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct NetBenchReport {
+    seed: u64,
+    cycles: usize,
+    param_count: usize,
+    /// Wire size of one full-model frame — the baseline every masked
+    /// upload is compared against.
+    full_frame_bytes: usize,
+    runs: Vec<RunReport>,
+}
+
+fn make_env() -> FlEnv {
+    let clients = CAPABLE + STRAGGLERS;
+    let mut rng = TensorRng::seed_from(SEED);
+    let (train, test) = SyntheticVision::mnist_like()
+        .generate(40 * clients, 40, &mut rng)
+        .expect("dataset");
+    let shards: Vec<Dataset> = partition::iid(train.len(), clients, &mut rng)
+        .into_iter()
+        .map(|idx| train.subset(&idx).expect("subset"))
+        .collect();
+    let mut env = FlEnv::new(
+        ModelKind::LeNet,
+        presets::mixed_fleet(CAPABLE, STRAGGLERS),
+        shards,
+        test,
+        FlConfig {
+            seed: SEED,
+            net: NetConfig {
+                enabled: true,
+                link: CAPABLE_LINK,
+                faults: FaultConfig {
+                    drop_prob: 0.05,
+                    corrupt_prob: 0.05,
+                    delay_prob: 0.10,
+                    max_extra_delay_s: 0.25,
+                },
+                ..NetConfig::default()
+            },
+            ..FlConfig::default()
+        },
+    )
+    .expect("env");
+    // mixed_fleet puts capable devices first, stragglers after.
+    for i in CAPABLE..clients {
+        env.set_link(i, STRAGGLER_LINK).expect("set_link");
+    }
+    env
+}
+
+fn run_report(name: &str, strategy: &mut dyn Strategy, env: &mut FlEnv) -> RunReport {
+    let metrics = strategy.run(env, CYCLES).expect("strategy run");
+    let transport = env.transport().expect("networking enabled");
+    let stats = *transport.stats();
+    let devices = transport
+        .device_stats()
+        .iter()
+        .enumerate()
+        .map(|(i, d)| DeviceReport {
+            client: i,
+            straggler: i >= CAPABLE,
+            upload_bytes: d.upload_bytes,
+            download_bytes: d.download_bytes,
+            retries: d.retries,
+            missed_cycles: d.missed_cycles,
+            upload_frame_bytes: env
+                .client(i)
+                .expect("client")
+                .upload_wire_size()
+                .total_bytes(),
+        })
+        .collect();
+    RunReport {
+        strategy: name.to_string(),
+        cycles: metrics.records().len(),
+        total_sim_time_s: metrics.total_time().as_secs_f64(),
+        bytes_on_wire: stats.bytes_on_wire,
+        delivered_bytes: stats.delivered_bytes,
+        retries: stats.retries,
+        corruptions_detected: stats.corruptions_detected,
+        timeouts: stats.timeouts,
+        failures: stats.failures,
+        devices,
+    }
+}
+
+fn main() {
+    let mut sync_env = make_env();
+    let mut helios_env = make_env();
+    let param_count = sync_env.global().len();
+    let full_frame_bytes = WireSize::full(param_count).total_bytes();
+
+    let sync_run = run_report("sync_fedavg_full", &mut SyncFedAvg::new(), &mut sync_env);
+    let helios_run = run_report(
+        "helios_soft_trained",
+        &mut HeliosStrategy::new(HeliosConfig::default()),
+        &mut helios_env,
+    );
+
+    println!("Simulated network — full vs soft-trained exchange ({CYCLES} cycles)");
+    for run in [&sync_run, &helios_run] {
+        println!(
+            "{:<22} sim_time {:>8.2}s  wire {:>9} B  retries {:>3}  corrupt {:>3}  \
+             timeouts {:>2}  failures {:>2}",
+            run.strategy,
+            run.total_sim_time_s,
+            run.bytes_on_wire,
+            run.retries,
+            run.corruptions_detected,
+            run.timeouts,
+            run.failures,
+        );
+        for d in &run.devices {
+            println!(
+                "  client {} ({}) up {:>9} B  down {:>9} B  frame {:>7} B  retries {:>2}  missed {}",
+                d.client,
+                if d.straggler { "straggler" } else { "capable " },
+                d.upload_bytes,
+                d.download_bytes,
+                d.upload_frame_bytes,
+                d.retries,
+                d.missed_cycles,
+            );
+        }
+    }
+
+    let report = NetBenchReport {
+        seed: SEED,
+        cycles: CYCLES,
+        param_count,
+        full_frame_bytes,
+        runs: vec![sync_run, helios_run],
+    };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join("BENCH_net.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write report");
+    println!("\nwrote {}", path.display());
+
+    // Self-check against the artifact we just wrote: parse it back and
+    // verify the headline claim — a soft-trained straggler's upload
+    // frame is smaller than the full-model frame.
+    let parsed: NetBenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read back"))
+            .expect("BENCH_net.json must parse");
+    let helios = parsed
+        .runs
+        .iter()
+        .find(|r| r.strategy == "helios_soft_trained")
+        .expect("helios run present");
+    let mut ok = true;
+    for d in helios.devices.iter().filter(|d| d.straggler) {
+        let smaller = d.upload_frame_bytes < parsed.full_frame_bytes;
+        println!(
+            "check: straggler {} frame {} B < full {} B — {}",
+            d.client,
+            d.upload_frame_bytes,
+            parsed.full_frame_bytes,
+            if smaller { "ok" } else { "FAIL" }
+        );
+        ok &= smaller;
+    }
+    if !ok {
+        eprintln!("straggler wire size check failed");
+        std::process::exit(1);
+    }
+}

@@ -47,11 +47,13 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: reverse so the earliest time (then the
-        // lowest sequence number) pops first.
+        // lowest sequence number) pops first. `total_cmp` agrees with the
+        // ordinary float order on the finite non-negative values SimTime
+        // guarantees, and is total, so no fallible unwrap is needed.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("simulated times are finite")
+            .as_secs_f64()
+            .total_cmp(&self.time.as_secs_f64())
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -103,11 +105,10 @@ impl<E> EventQueue<E> {
     /// Pops every event scheduled at or before `deadline`, in order.
     pub fn drain_until(&mut self, deadline: SimTime) -> Vec<(SimTime, E)> {
         let mut fired = Vec::new();
-        while let Some(t) = self.peek_time() {
-            if t > deadline {
-                break;
+        while self.peek_time().is_some_and(|t| t <= deadline) {
+            if let Some(entry) = self.pop() {
+                fired.push(entry);
             }
-            fired.push(self.pop().expect("peeked entry exists"));
         }
         fired
     }

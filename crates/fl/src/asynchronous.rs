@@ -144,7 +144,7 @@ impl Strategy for AsyncFl {
                 })
                 .collect();
             aggregate(&mut global, &masked);
-            env.set_global(global);
+            env.set_global(global)?;
             // Arrived stragglers re-download the fresh global.
             for &i in &arrivals {
                 env.send_global_to(i, cycle + 1)?;
@@ -262,12 +262,12 @@ impl Strategy for Afo {
                     let rate = self.alpha * (1.0 + staleness).powf(-self.decay);
                     Self::mix(&mut global, &update.params, rate);
                     participants += 1;
-                    env.set_global(global.clone());
+                    env.set_global(global.clone())?;
                     env.send_global_to(i, cycle + 1)?;
                     global = env.global().to_vec();
                 }
             }
-            env.set_global(global);
+            env.set_global(global)?;
             env.advance_clock(cycle_duration);
             let (test_loss, test_accuracy) = env.evaluate_global()?;
             // Every participant exchanged a full model this cycle.

@@ -4,6 +4,7 @@
 use crate::Result;
 use helios_data::Dataset;
 use helios_device::{CostModel, ResourceProfile, SimTime, TrainingWorkload};
+use helios_net::WireSize;
 use helios_nn::{CrossEntropyLoss, ModelMask, Network, NetworkCost, Sgd};
 use helios_tensor::TensorRng;
 
@@ -84,6 +85,9 @@ impl Client {
         workload_scale: f64,
         rng: TensorRng,
     ) -> Self {
+        // Invariant backstop: `FlConfig::validate` rejects bad scales
+        // before any client is built; a direct caller bypassing the
+        // config path still gets a loud failure here.
         assert!(
             workload_scale.is_finite() && workload_scale > 0.0,
             "workload scale must be positive and finite, got {workload_scale}"
@@ -167,6 +171,33 @@ impl Client {
     /// The currently installed mask, if any.
     pub fn current_mask(&self) -> Option<&ModelMask> {
         self.current_mask.as_ref()
+    }
+
+    /// Number of parameters active under the current mask (all of them
+    /// when no mask is installed).
+    pub fn active_param_count(&self) -> usize {
+        match &self.current_mask {
+            Some(m) => self
+                .net
+                .layout()
+                .param_mask(m)
+                .iter()
+                .filter(|&&b| b)
+                .count(),
+            None => self.net.param_len(),
+        }
+    }
+
+    /// Wire size of this client's next upload: the masked layout when a
+    /// soft-training mask is installed (bitset + active parameters
+    /// only), the full layout otherwise. This is how a straggler's
+    /// upload genuinely shrinks on the wire.
+    pub fn upload_wire_size(&self) -> WireSize {
+        let n = self.net.param_len();
+        match &self.current_mask {
+            Some(_) => WireSize::masked(n, self.active_param_count()),
+            None => WireSize::full(n),
+        }
     }
 
     /// Fraction of maskable neurons active under the current mask.

@@ -3,6 +3,7 @@
 use crate::{Client, FlError, LocalUpdate, Result};
 use helios_data::Dataset;
 use helios_device::{ResourceProfile, SimClock, SimTime};
+use helios_net::{codec, simulate_round, LinkProfile, NetConfig, RoundJob, SimTransport};
 use helios_nn::models::ModelKind;
 use helios_nn::{CrossEntropyLoss, Network};
 use helios_tensor::{map_items_mut, ParallelismConfig, TensorRng};
@@ -37,6 +38,13 @@ pub struct FlConfig {
     /// parallel module). Defaults to auto-detect.
     #[serde(default)]
     pub parallelism: ParallelismConfig,
+    /// Simulated-network section: per-device link profile, fault
+    /// injection, retries, and the per-round deadline. Defaults to
+    /// *disabled* (direct in-memory exchange), so configs and result
+    /// files written before this section existed keep loading
+    /// unchanged.
+    #[serde(default)]
+    pub net: NetConfig,
 }
 
 impl Default for FlConfig {
@@ -50,8 +58,62 @@ impl Default for FlConfig {
             seed: 42,
             workload_scale: 2000.0,
             parallelism: ParallelismConfig::auto(),
+            net: NetConfig::default(),
         }
     }
+}
+
+impl FlConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidRunConfig`] for zero batch/epoch
+    /// counts, a non-finite or non-positive learning rate or workload
+    /// scale, a momentum outside `[0, 1)`, or an invalid `net` section.
+    pub fn validate(&self) -> Result<()> {
+        let invalid = |what: String| Err(FlError::InvalidRunConfig { what });
+        if self.batch_size == 0 {
+            return invalid("batch_size must be nonzero".into());
+        }
+        if self.eval_batch == 0 {
+            return invalid("eval_batch must be nonzero".into());
+        }
+        if self.local_epochs == 0 {
+            return invalid("local_epochs must be nonzero".into());
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return invalid(format!(
+                "learning_rate {} must be positive and finite",
+                self.learning_rate
+            ));
+        }
+        if !(self.momentum.is_finite() && (0.0..1.0).contains(&self.momentum)) {
+            return invalid(format!("momentum {} outside [0, 1)", self.momentum));
+        }
+        if !(self.workload_scale.is_finite() && self.workload_scale > 0.0) {
+            return invalid(format!(
+                "workload_scale {} must be positive and finite",
+                self.workload_scale
+            ));
+        }
+        self.net.validate().map_err(FlError::Net)
+    }
+}
+
+/// The result of routing one cycle's updates through the simulated
+/// transport (see [`FlEnv::route_updates`]).
+#[derive(Debug, Clone)]
+pub struct RoutedCycle {
+    /// The delivered updates, in client order, with parameters decoded
+    /// from their wire frames. Participants that missed the cycle are
+    /// absent.
+    pub updates: Vec<LocalUpdate>,
+    /// The round's simulated span: `max(compute + comm)` over delivered
+    /// participants, extended to the deadline when someone missed it.
+    pub cycle_time: SimTime,
+    /// Client ids that missed the cycle (retry exhaustion or deadline).
+    pub missed: Vec<usize>,
 }
 
 /// The full experimental setup: a fleet of [`Client`]s, the held-out test
@@ -68,6 +130,9 @@ pub struct FlEnv {
     global: Vec<f32>,
     clock: SimClock,
     config: FlConfig,
+    /// Present iff `config.net.enabled`: the simulated transport every
+    /// synchronous round is routed through.
+    transport: Option<SimTransport>,
 }
 
 impl FlEnv {
@@ -77,7 +142,9 @@ impl FlEnv {
     /// # Errors
     ///
     /// Returns [`FlError::FleetMismatch`] when profile and shard counts
-    /// differ, or [`FlError::InvalidStrategyConfig`] for an empty fleet.
+    /// differ, [`FlError::InvalidStrategyConfig`] for an empty fleet, or
+    /// [`FlError::InvalidRunConfig`] when [`FlConfig::validate`] rejects
+    /// the configuration.
     pub fn new(
         model: ModelKind,
         fleet: Vec<ResourceProfile>,
@@ -85,6 +152,7 @@ impl FlEnv {
         test_set: Dataset,
         config: FlConfig,
     ) -> Result<Self> {
+        config.validate()?;
         if fleet.len() != shards.len() {
             return Err(FlError::FleetMismatch {
                 profiles: fleet.len(),
@@ -118,7 +186,12 @@ impl FlEnv {
                     master_rng.split(),
                 )
             })
-            .collect();
+            .collect::<Vec<Client>>();
+        let transport = if config.net.enabled {
+            Some(SimTransport::new(clients.len(), &config.net, config.seed)?)
+        } else {
+            None
+        };
         Ok(FlEnv {
             clients,
             test_set,
@@ -126,6 +199,7 @@ impl FlEnv {
             global,
             clock: SimClock::new(),
             config,
+            transport,
         })
     }
 
@@ -201,6 +275,12 @@ impl FlEnv {
         );
         client.receive_global(&self.global, 0)?;
         self.clients.push(client);
+        if let Some(t) = &mut self.transport {
+            // The newcomer's fault/jitter stream is a pure function of
+            // (run seed, device index), so a grown transport matches one
+            // built with the full fleet upfront.
+            t.add_device();
+        }
         Ok(id)
     }
 
@@ -211,17 +291,19 @@ impl FlEnv {
 
     /// Replaces the global parameter vector.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the length changes — the architecture is fixed per
-    /// environment.
-    pub fn set_global(&mut self, params: Vec<f32>) {
-        assert_eq!(
-            params.len(),
-            self.global.len(),
-            "global parameter length must not change"
-        );
+    /// Returns [`FlError::GlobalLengthMismatch`] if the length changes —
+    /// the architecture is fixed per environment.
+    pub fn set_global(&mut self, params: Vec<f32>) -> Result<()> {
+        if params.len() != self.global.len() {
+            return Err(FlError::GlobalLengthMismatch {
+                expected: self.global.len(),
+                actual: params.len(),
+            });
+        }
         self.global = params;
+        Ok(())
     }
 
     /// Sends the current global model to every client, tagging it with the
@@ -279,6 +361,151 @@ impl FlEnv {
         self.clock.advance(span);
     }
 
+    /// The simulated transport, when `config.net.enabled`.
+    pub fn transport(&self) -> Option<&SimTransport> {
+        self.transport.as_ref()
+    }
+
+    /// Overrides one client's link profile (requires networking to be
+    /// enabled). Use this to give stragglers the paper's constrained
+    /// uplinks while capable devices keep fast ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::UnknownClient`] for an out-of-range index or
+    /// [`FlError::InvalidRunConfig`] when networking is disabled or the
+    /// profile is invalid.
+    pub fn set_link(&mut self, client: usize, link: LinkProfile) -> Result<()> {
+        if client >= self.clients.len() {
+            return Err(FlError::UnknownClient {
+                client,
+                num_clients: self.clients.len(),
+            });
+        }
+        match &mut self.transport {
+            Some(t) => Ok(t.set_link(client, link)?),
+            None => Err(FlError::InvalidRunConfig {
+                what: "cannot set a link profile while config.net is disabled".into(),
+            }),
+        }
+    }
+
+    /// Expected communication time for one cycle of client `i` under its
+    /// link profile: downloading the full global model plus uploading
+    /// the update at its current wire size (masked layout when a
+    /// soft-training mask is installed). Deterministic — jitter and
+    /// faults are excluded — so Helios can feed it into straggler
+    /// identification and deadline fitting. Zero when networking is
+    /// disabled or the link is ideal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::UnknownClient`] for an out-of-range index.
+    pub fn comm_overhead(&self, i: usize) -> Result<SimTime> {
+        let client = self.client(i)?;
+        let Some(t) = &self.transport else {
+            return Ok(SimTime::ZERO);
+        };
+        let link = t.link(i)?;
+        let down = link.expected_transfer(codec::WireSize::full(self.global.len()).total_bytes());
+        let up = link.expected_transfer(client.upload_wire_size().total_bytes());
+        Ok(down + up)
+    }
+
+    /// Client `i`'s full cycle time as the server observes it:
+    /// `compute + comm` (the paper's `T_e = W/C_cpu + M/V_mc + U/B_n`
+    /// with the transfer term realised by the simulated link).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::UnknownClient`] for an out-of-range index.
+    pub fn combined_cycle_time(&self, i: usize) -> Result<SimTime> {
+        Ok(self.client(i)?.cycle_time() + self.comm_overhead(i)?)
+    }
+
+    /// Routes one synchronous cycle's exchange through the simulated
+    /// transport: the global broadcast goes down every participant's
+    /// link, each update comes back up as a wire frame (masked layout
+    /// for soft-trained clients), and the round's simulated span is
+    /// `max(compute + comm)` over participants.
+    ///
+    /// With networking disabled this is a transparent passthrough whose
+    /// span is `max(compute)` — strategies call it unconditionally.
+    /// Delivered frames are decoded against the current global vector
+    /// (masked-out entries hold the pre-training broadcast values by
+    /// the [`LocalUpdate::param_mask`] invariant), which reproduces each
+    /// update's parameters bit-for-bit. Participants whose transfers
+    /// exhaust their retries or overrun `net.round_timeout_s` are
+    /// reported in [`RoutedCycle::missed`] and dropped from the
+    /// aggregation set — a missed cycle, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidRunConfig`] when `compute_times` and
+    /// `updates` disagree in length, or a [`FlError::Net`] codec error
+    /// (impossible for updates produced by [`Client::train_local`]).
+    pub fn route_updates(
+        &mut self,
+        cycle: usize,
+        updates: Vec<LocalUpdate>,
+        compute_times: &[SimTime],
+    ) -> Result<RoutedCycle> {
+        if updates.len() != compute_times.len() {
+            return Err(FlError::InvalidRunConfig {
+                what: format!(
+                    "route_updates got {} updates but {} compute times",
+                    updates.len(),
+                    compute_times.len()
+                ),
+            });
+        }
+        let Some(transport) = &mut self.transport else {
+            let cycle_time = compute_times
+                .iter()
+                .copied()
+                .fold(SimTime::ZERO, SimTime::max);
+            return Ok(RoutedCycle {
+                updates,
+                cycle_time,
+                missed: Vec::new(),
+            });
+        };
+        let broadcast = codec::encode_full(codec::SERVER_SENDER, cycle as u32, &self.global)?;
+        let mut jobs = Vec::with_capacity(updates.len());
+        for (u, &compute) in updates.iter().zip(compute_times) {
+            let frame = codec::encode_update(
+                u.client as u32,
+                cycle as u32,
+                &u.params,
+                u.param_mask.as_deref(),
+            )?;
+            jobs.push(RoundJob {
+                device: u.client,
+                compute,
+                upload_frame: frame,
+            });
+        }
+        let timeout = self.config.net.round_timeout_s.map(SimTime::from_secs);
+        let outcome = simulate_round(transport, &broadcast, &jobs, timeout)?;
+        let mut delivered = Vec::with_capacity(updates.len());
+        let mut missed = Vec::new();
+        for (mut u, slot) in updates.into_iter().zip(outcome.deliveries) {
+            match slot {
+                Some((_, bytes)) => {
+                    let frame = codec::decode(&bytes)?;
+                    u.params = frame.into_params(&self.global)?;
+                    delivered.push(u);
+                }
+                None => missed.push(u.client),
+            }
+        }
+        Ok(RoutedCycle {
+            updates: delivered,
+            cycle_time: outcome.span,
+            missed,
+        })
+    }
+
     /// Evaluates the current global model on the held-out test set.
     ///
     /// # Errors
@@ -316,7 +543,7 @@ mod tests {
     use helios_data::{partition, SyntheticVision};
     use helios_device::presets;
 
-    fn small_env(seed: u64) -> FlEnv {
+    fn small_env_with(seed: u64, net: NetConfig) -> FlEnv {
         let mut rng = TensorRng::seed_from(9);
         let (train, test) = SyntheticVision::mnist_like()
             .generate(60, 40, &mut rng)
@@ -332,10 +559,15 @@ mod tests {
             test,
             FlConfig {
                 seed,
+                net,
                 ..FlConfig::default()
             },
         )
         .unwrap()
+    }
+
+    fn small_env(seed: u64) -> FlEnv {
+        small_env_with(seed, NetConfig::default())
     }
 
     #[test]
@@ -406,9 +638,167 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "global parameter length")]
     fn set_global_rejects_length_change() {
         let mut env = small_env(4);
-        env.set_global(vec![0.0; 3]);
+        let n = env.global().len();
+        let err = env.set_global(vec![0.0; 3]);
+        assert!(
+            matches!(
+                err,
+                Err(FlError::GlobalLengthMismatch {
+                    expected,
+                    actual: 3,
+                }) if expected == n
+            ),
+            "{err:?}"
+        );
+        // A correct-length replacement is accepted.
+        env.set_global(vec![0.0; n]).unwrap();
+        assert!(env.global().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn invalid_run_config_rejected() {
+        let mut rng = TensorRng::seed_from(0);
+        let (train, test) = SyntheticVision::mnist_like()
+            .generate(20, 10, &mut rng)
+            .unwrap();
+        let bad = FlConfig {
+            learning_rate: f32::NAN,
+            ..FlConfig::default()
+        };
+        let err = FlEnv::new(
+            ModelKind::LeNet,
+            presets::mixed_fleet(1, 0),
+            vec![train],
+            test,
+            bad,
+        );
+        assert!(
+            matches!(err, Err(FlError::InvalidRunConfig { .. })),
+            "{err:?}"
+        );
+        assert!(FlConfig {
+            momentum: 1.0,
+            ..FlConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FlConfig {
+            batch_size: 0,
+            ..FlConfig::default()
+        }
+        .validate()
+        .is_err());
+        FlConfig::default().validate().unwrap();
+    }
+
+    /// Configs serialized before the `net` section existed (and before
+    /// `parallelism`) must keep deserializing, with networking disabled.
+    #[test]
+    fn pre_net_config_json_still_loads() {
+        let legacy = r#"{
+            "batch_size": 16,
+            "local_epochs": 1,
+            "learning_rate": 0.05,
+            "momentum": 0.9,
+            "eval_batch": 64,
+            "seed": 42,
+            "workload_scale": 2000.0
+        }"#;
+        let cfg: FlConfig = serde_json::from_str(legacy).unwrap();
+        assert!(!cfg.net.enabled);
+        assert_eq!(cfg.net, NetConfig::default());
+        cfg.validate().unwrap();
+        // And a round-trip of the current shape preserves the section.
+        let enabled = FlConfig {
+            net: NetConfig {
+                enabled: true,
+                ..NetConfig::default()
+            },
+            ..FlConfig::default()
+        };
+        let json = serde_json::to_string(&enabled).unwrap();
+        let back: FlConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, enabled);
+    }
+
+    #[test]
+    fn route_updates_passthrough_when_disabled() {
+        let mut env = small_env(7);
+        assert!(env.transport().is_none());
+        env.broadcast_global(0).unwrap();
+        let updates = env.train_all().unwrap();
+        let times: Vec<SimTime> = env.clients().map(Client::cycle_time).collect();
+        let expect_params: Vec<Vec<f32>> = updates.iter().map(|u| u.params.clone()).collect();
+        let routed = env.route_updates(0, updates, &times).unwrap();
+        assert!(routed.missed.is_empty());
+        assert_eq!(
+            routed.cycle_time,
+            times.iter().copied().fold(SimTime::ZERO, SimTime::max)
+        );
+        let got: Vec<Vec<f32>> = routed.updates.iter().map(|u| u.params.clone()).collect();
+        assert_eq!(got, expect_params);
+        assert_eq!(env.comm_overhead(0).unwrap(), SimTime::ZERO);
+        assert_eq!(
+            env.combined_cycle_time(0).unwrap(),
+            env.client(0).unwrap().cycle_time()
+        );
+        assert!(env.set_link(0, LinkProfile::ideal()).is_err());
+    }
+
+    #[test]
+    fn ideal_transport_is_bitwise_transparent() {
+        let mut direct = small_env(8);
+        let mut routed_env = small_env_with(
+            8,
+            NetConfig {
+                enabled: true,
+                ..NetConfig::default()
+            },
+        );
+        direct.broadcast_global(0).unwrap();
+        routed_env.broadcast_global(0).unwrap();
+        let du = direct.train_all().unwrap();
+        let ru = routed_env.train_all().unwrap();
+        let times: Vec<SimTime> = direct.clients().map(Client::cycle_time).collect();
+        let d = direct.route_updates(0, du, &times).unwrap();
+        let r = routed_env.route_updates(0, ru, &times).unwrap();
+        assert!(r.missed.is_empty());
+        assert_eq!(d.cycle_time, r.cycle_time, "ideal links add zero time");
+        assert_eq!(d.updates.len(), r.updates.len());
+        for (a, b) in d.updates.iter().zip(&r.updates) {
+            let ab: Vec<u32> = a.params.iter().map(|p| p.to_bits()).collect();
+            let bb: Vec<u32> = b.params.iter().map(|p| p.to_bits()).collect();
+            assert_eq!(ab, bb, "wire roundtrip must be bit-exact");
+        }
+        let stats = routed_env.transport().unwrap().stats();
+        assert!(stats.bytes_on_wire > 0);
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn constrained_link_adds_comm_overhead() {
+        let mut env = small_env_with(
+            11,
+            NetConfig {
+                enabled: true,
+                ..NetConfig::default()
+            },
+        );
+        env.set_link(0, LinkProfile::constrained(1_000_000.0, 0.01))
+            .unwrap();
+        let overhead = env.comm_overhead(0).unwrap();
+        assert!(overhead > SimTime::ZERO);
+        assert_eq!(
+            env.combined_cycle_time(0).unwrap(),
+            env.client(0).unwrap().cycle_time() + overhead
+        );
+        // Client 1 keeps the ideal default.
+        assert_eq!(env.comm_overhead(1).unwrap(), SimTime::ZERO);
+        assert!(matches!(
+            env.set_link(9, LinkProfile::ideal()),
+            Err(FlError::UnknownClient { .. })
+        ));
     }
 }

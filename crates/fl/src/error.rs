@@ -32,6 +32,21 @@ pub enum FlError {
         /// Description of the problem.
         what: String,
     },
+    /// A run configuration ([`crate::FlConfig`]) holds an invalid value.
+    InvalidRunConfig {
+        /// Description of the problem.
+        what: String,
+    },
+    /// An aggregated global vector tried to change the parameter count —
+    /// the architecture is fixed per environment.
+    GlobalLengthMismatch {
+        /// The environment's parameter count.
+        expected: usize,
+        /// The offered vector's length.
+        actual: usize,
+    },
+    /// A wire-codec or simulated-transport operation failed.
+    Net(helios_net::NetError),
 }
 
 impl fmt::Display for FlError {
@@ -49,6 +64,14 @@ impl fmt::Display for FlError {
             FlError::InvalidStrategyConfig { what } => {
                 write!(f, "invalid strategy configuration: {what}")
             }
+            FlError::InvalidRunConfig { what } => {
+                write!(f, "invalid run configuration: {what}")
+            }
+            FlError::GlobalLengthMismatch { expected, actual } => write!(
+                f,
+                "global parameter length must not change: expected {expected}, got {actual}"
+            ),
+            FlError::Net(e) => write!(f, "network operation failed: {e}"),
         }
     }
 }
@@ -58,6 +81,7 @@ impl Error for FlError {
         match self {
             FlError::Nn(e) => Some(e),
             FlError::Data(e) => Some(e),
+            FlError::Net(e) => Some(e),
             _ => None,
         }
     }
@@ -72,6 +96,12 @@ impl From<NnError> for FlError {
 impl From<DataError> for FlError {
     fn from(e: DataError) -> Self {
         FlError::Data(e)
+    }
+}
+
+impl From<helios_net::NetError> for FlError {
+    fn from(e: helios_net::NetError) -> Self {
+        FlError::Net(e)
     }
 }
 

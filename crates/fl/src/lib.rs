@@ -69,7 +69,7 @@ mod sync;
 
 pub use asynchronous::{Afo, AsyncFl};
 pub use client::{Client, LocalUpdate, DEFAULT_MEMORY_SCALE, GRAD_CLIP_NORM};
-pub use env::{FlConfig, FlEnv};
+pub use env::{FlConfig, FlEnv, RoutedCycle};
 pub use error::FlError;
 pub use metrics::{RoundRecord, RunMetrics};
 pub use random_partial::{random_mask, RandomPartial};
@@ -79,6 +79,8 @@ pub use sync::SyncFedAvg;
 
 #[doc(no_inline)]
 pub use helios_device::ResourceProfile;
+#[doc(no_inline)]
+pub use helios_net::{FaultConfig, LinkProfile, NetConfig, WireSize};
 #[doc(no_inline)]
 pub use helios_tensor::ParallelismConfig;
 

@@ -2,7 +2,6 @@
 //! (federated dropout, Caldas et al. [12]).
 
 use crate::{aggregate, FlEnv, FlError, MaskedUpdate, Result, RoundRecord, RunMetrics, Strategy};
-use helios_device::SimTime;
 use helios_nn::{MaskableUnits, ModelMask};
 use helios_tensor::TensorRng;
 
@@ -91,7 +90,7 @@ impl Strategy for RandomPartial {
             // Serial prologue: mask drawing consumes the strategy RNG,
             // so it must stay in client order for reproducibility. The
             // training itself is independent per client and fans out.
-            let mut cycle_time = SimTime::ZERO;
+            let mut compute_times = Vec::with_capacity(env.num_clients());
             for i in 0..env.num_clients() {
                 let keep = self.keep_ratios[i];
                 let client = env.client_mut(i)?;
@@ -103,11 +102,17 @@ impl Strategy for RandomPartial {
                     }
                     None => client.set_masks(None)?,
                 }
-                cycle_time = cycle_time.max(client.cycle_time());
+                compute_times.push(client.cycle_time());
             }
             let updates = env.train_all()?;
+            // Exchange rides the simulated transport (passthrough when
+            // networking is disabled); masked uploads use the compact
+            // wire layout, so stragglers genuinely send fewer bytes.
+            let comm_bytes = crate::cycle_comm_bytes(&updates);
+            let routed = env.route_updates(cycle, updates, &compute_times)?;
             let mut global = env.global().to_vec();
-            let masked: Vec<MaskedUpdate<'_>> = updates
+            let masked: Vec<MaskedUpdate<'_>> = routed
+                .updates
                 .iter()
                 .map(|u| MaskedUpdate {
                     params: &u.params,
@@ -116,16 +121,16 @@ impl Strategy for RandomPartial {
                 })
                 .collect();
             aggregate(&mut global, &masked);
-            env.set_global(global);
-            env.advance_clock(cycle_time);
+            env.set_global(global)?;
+            env.advance_clock(routed.cycle_time);
             let (test_loss, test_accuracy) = env.evaluate_global()?;
             metrics.push(RoundRecord {
                 cycle,
                 sim_time: env.clock().now(),
                 test_accuracy,
                 test_loss,
-                participants: updates.len(),
-                comm_bytes: crate::cycle_comm_bytes(&updates),
+                participants: routed.updates.len(),
+                comm_bytes,
             });
         }
         Ok(metrics)

@@ -1,7 +1,6 @@
 //! Synchronized FedAvg — the paper's "Syn. FL" baseline.
 
 use crate::{aggregate, FlEnv, MaskedUpdate, Result, RoundRecord, RunMetrics, Strategy};
-use helios_device::SimTime;
 
 /// Fully synchronous FedAvg: every cycle, every device (stragglers
 /// included) trains the complete model and the server waits for the
@@ -39,15 +38,22 @@ impl Strategy for SyncFedAvg {
             // across worker threads; the updates come back in client
             // order and aggregation below stays serial, keeping runs
             // bitwise identical to single-threaded execution.
-            let mut cycle_time = SimTime::ZERO;
+            let mut compute_times = Vec::with_capacity(env.num_clients());
             for i in 0..env.num_clients() {
                 let client = env.client_mut(i)?;
                 client.set_masks(None)?;
-                cycle_time = cycle_time.max(client.cycle_time());
+                compute_times.push(client.cycle_time());
             }
             let updates = env.train_all()?;
+            // The exchange rides the simulated transport (a transparent
+            // passthrough when networking is disabled): the round's span
+            // becomes max(compute + comm) and clients whose transfers
+            // miss the deadline drop out of this cycle's aggregate.
+            let comm_bytes = crate::cycle_comm_bytes(&updates);
+            let routed = env.route_updates(cycle, updates, &compute_times)?;
             let mut global = env.global().to_vec();
-            let masked: Vec<MaskedUpdate<'_>> = updates
+            let masked: Vec<MaskedUpdate<'_>> = routed
+                .updates
                 .iter()
                 .map(|u| MaskedUpdate {
                     params: &u.params,
@@ -56,16 +62,16 @@ impl Strategy for SyncFedAvg {
                 })
                 .collect();
             aggregate(&mut global, &masked);
-            env.set_global(global);
-            env.advance_clock(cycle_time);
+            env.set_global(global)?;
+            env.advance_clock(routed.cycle_time);
             let (test_loss, test_accuracy) = env.evaluate_global()?;
             metrics.push(RoundRecord {
                 cycle,
                 sim_time: env.clock().now(),
                 test_accuracy,
                 test_loss,
-                participants: updates.len(),
-                comm_bytes: crate::cycle_comm_bytes(&updates),
+                participants: routed.updates.len(),
+                comm_bytes,
             });
         }
         Ok(metrics)

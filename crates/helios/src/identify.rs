@@ -41,16 +41,19 @@ pub fn test_bench_index(env: &FlEnv, iterations: usize) -> Result<Vec<TimeIndexE
             * env.config().local_epochs;
         let frac = iterations as f64 / batches as f64;
         let bench = full.scaled(frac.clamp(f64::MIN_POSITIVE, 1.0));
+        // The black-box measurement includes shipping the bench model
+        // over the device's link — a fast CPU behind a weak uplink still
+        // reads as slow, exactly what the server observes in practice.
+        // Zero when networking is disabled.
+        let comm = env.comm_overhead(i).map_err(HeliosError::from)?;
         entries.push(TimeIndexEntry {
             client: i,
-            time: CostModel::time_for(client.profile(), &bench),
+            time: CostModel::time_for(client.profile(), &bench) + comm,
         });
     }
-    entries.sort_by(|a, b| {
-        b.time
-            .partial_cmp(&a.time)
-            .expect("simulated times are finite")
-    });
+    // `total_cmp` on the inner f64 is a total order, so sorting cannot
+    // panic; SimTime already guarantees finiteness.
+    entries.sort_by(|a, b| b.time.as_secs_f64().total_cmp(&a.time.as_secs_f64()));
     Ok(entries)
 }
 
@@ -138,6 +141,45 @@ pub fn resource_based_env(env: &FlEnv, slowdown_threshold: f64) -> Result<Vec<us
         .collect::<std::result::Result<_, _>>()
         .map_err(HeliosError::from)?;
     resource_based(&profiles, &workload, slowdown_threshold)
+}
+
+/// Resource-based identification over an environment's fleet using
+/// *combined* time — the paper's full `T_e = W/C_cpu + M/V_mc + U/B_n`:
+/// the common reference workload evaluated on each device's profile plus
+/// the device's expected link transfer time for one round's exchange.
+/// Identical to [`resource_based_env`] when networking is disabled or
+/// every link is ideal.
+///
+/// # Errors
+///
+/// Same conditions as [`resource_based`].
+pub fn resource_based_combined(env: &FlEnv, slowdown_threshold: f64) -> Result<Vec<usize>> {
+    if !(slowdown_threshold > 1.0 && slowdown_threshold.is_finite()) {
+        return Err(HeliosError::Identification {
+            what: format!("slowdown threshold {slowdown_threshold} must exceed 1"),
+        });
+    }
+    let workload = env.client(0).map_err(HeliosError::from)?.cycle_workload();
+    let mut times = Vec::with_capacity(env.num_clients());
+    for i in 0..env.num_clients() {
+        let client = env.client(i).map_err(HeliosError::from)?;
+        let compute = CostModel::time_for(client.profile(), &workload);
+        let comm = env.comm_overhead(i).map_err(HeliosError::from)?;
+        times.push((compute + comm).as_secs_f64());
+    }
+    let fastest = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let stragglers: Vec<usize> = times
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t > slowdown_threshold * fastest)
+        .map(|(i, _)| i)
+        .collect();
+    if stragglers.len() == env.num_clients() {
+        return Err(HeliosError::Identification {
+            what: "every device classified as straggler".into(),
+        });
+    }
+    Ok(stragglers)
 }
 
 #[cfg(test)]

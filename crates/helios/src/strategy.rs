@@ -181,34 +181,40 @@ impl HeliosStrategy {
                 index.iter().take(*top_k).map(|e| e.client).collect()
             }
             Identification::ResourceBased { slowdown_threshold } => {
-                let ids = identify::resource_based_env(env, *slowdown_threshold)?;
-                // Rank by full-model cycle time, slowest first.
-                let mut ranked = ids;
+                // Combined time = compute + expected link transfer, so a
+                // device behind a constrained uplink ranks as the
+                // straggler it effectively is (identical to pure compute
+                // ranking when networking is disabled).
+                let ids = identify::resource_based_combined(env, *slowdown_threshold)?;
                 let mut times: Vec<(usize, f64)> = Vec::new();
-                for &i in &ranked {
-                    times.push((i, env.client(i)?.cycle_time().as_secs_f64()));
+                for &i in &ids {
+                    times.push((i, env.combined_cycle_time(i)?.as_secs_f64()));
                 }
-                times.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-                ranked = times.into_iter().map(|(i, _)| i).collect();
-                ranked
+                times.sort_by(|a, b| b.1.total_cmp(&a.1));
+                times.into_iter().map(|(i, _)| i).collect()
             }
         };
-        // 2. Capable pace = slowest capable device at full volume.
+        // 2. Capable pace = slowest capable device at full volume,
+        // communication included.
         let mut deadline = SimTime::ZERO;
         for i in 0..env.num_clients() {
             if !ranked.contains(&i) {
-                deadline = deadline.max(env.client(i)?.cycle_time());
+                deadline = deadline.max(env.combined_cycle_time(i)?);
             }
         }
         self.deadline = deadline;
-        // 3. Volume determination + soft-trainer construction.
+        // 3. Volume determination + soft-trainer construction. Fitting
+        // targets the *compute* budget: the deadline minus the
+        // straggler's expected (full-volume, hence conservative) link
+        // time — shrinking the model cannot speed up the download.
         let mut rng = TensorRng::seed_from(env.config().seed ^ 0x48454c49); // "HELI"
         let volumes: Vec<(usize, f64)> = match &self.config.volume {
             VolumePolicy::Predefined(levels) => target::assign_predefined(&ranked, levels)?,
             VolumePolicy::ResourceFitted => {
                 let mut out = Vec::with_capacity(ranked.len());
                 for &i in &ranked {
-                    let keep = target::fitted_keep_ratio(env.client_mut(i)?, deadline)?;
+                    let budget = target::comm_adjusted_deadline(deadline, env.comm_overhead(i)?);
+                    let keep = target::fitted_keep_ratio(env.client_mut(i)?, budget)?;
                     out.push((i, keep));
                 }
                 out
@@ -251,12 +257,14 @@ impl HeliosStrategy {
             });
         }
         let id = env.join_client(profile, shard).map_err(HeliosError::from)?;
-        let full_time = env.client(id)?.cycle_time();
+        let full_time = env.combined_cycle_time(id)?;
         if full_time.as_secs_f64() > 1.05 * self.deadline.as_secs_f64() {
             let keep = match &self.config.volume {
                 VolumePolicy::Predefined(levels) => *levels.last().expect("validated non-empty"),
                 VolumePolicy::ResourceFitted => {
-                    target::fitted_keep_ratio(env.client_mut(id)?, self.deadline)?
+                    let budget =
+                        target::comm_adjusted_deadline(self.deadline, env.comm_overhead(id)?);
+                    target::fitted_keep_ratio(env.client_mut(id)?, budget)?
                 }
             };
             let units = env.client_mut(id)?.network_mut().maskable_units();
@@ -293,11 +301,19 @@ impl HeliosStrategy {
         // back in client order and everything downstream (contribution
         // refresh, aggregation) stays serial, so cycles are bitwise
         // identical to single-threaded runs.
-        let mut cycle_time = SimTime::ZERO;
+        let mut compute_times = Vec::with_capacity(env.num_clients());
         for i in 0..env.num_clients() {
-            cycle_time = cycle_time.max(env.client(i)?.cycle_time());
+            compute_times.push(env.client(i)?.cycle_time());
         }
         let updates = env.train_all()?;
+        // The exchange rides the simulated transport (transparent
+        // passthrough when networking is disabled): soft-trained
+        // stragglers upload the compact masked wire layout, the round
+        // spans max(compute + comm), and deadline-missing participants
+        // drop out of this cycle's aggregate.
+        let comm_bytes = helios_fl::cycle_comm_bytes(&updates);
+        let routed = env.route_updates(cycle, updates, &compute_times)?;
+        let updates = routed.updates;
         // Refresh contribution values U (Eq 1) for the next selection.
         for u in &updates {
             if self.trainers.contains_key(&u.client) {
@@ -333,15 +349,16 @@ impl HeliosStrategy {
             })
             .collect();
         aggregate(&mut global, &masked);
-        env.set_global(global);
-        env.advance_clock(cycle_time);
+        env.set_global(global)?;
+        env.advance_clock(routed.cycle_time);
         // Dynamic volume adjustment toward the capable pace, during the
-        // settling window only.
+        // settling window only. The observed pace is the combined
+        // masked-compute + link time — what the server actually waits on.
         if cycle < self.config.dynamic_volume_cycles {
             let deadline = self.deadline;
             for i in 0..env.num_clients() {
                 if let Some(trainer) = self.trainers.get_mut(&i) {
-                    let masked_time = env.client(i)?.cycle_time();
+                    let masked_time = env.combined_cycle_time(i)?;
                     let next = target::adjust_keep_ratio(trainer.keep(), masked_time, deadline);
                     if (next - trainer.keep()).abs() > 1e-9 {
                         trainer.set_keep(next)?;
@@ -356,7 +373,7 @@ impl HeliosStrategy {
             test_accuracy,
             test_loss,
             participants: updates.len(),
-            comm_bytes: helios_fl::cycle_comm_bytes(&updates),
+            comm_bytes,
         });
         Ok(())
     }

@@ -133,6 +133,17 @@ pub fn assign_predefined(ranked_stragglers: &[usize], levels: &[f64]) -> Result<
         .collect())
 }
 
+/// The compute budget left for local training once a device's expected
+/// communication time is taken out of the collaboration deadline.
+/// Saturates at zero (via `SimTime`'s saturating subtraction) when the
+/// link alone overruns the deadline — fitting against a zero budget then
+/// reports the volume as infeasible, which is the honest answer. With an
+/// ideal link (`comm == 0`) this is the identity, so networking-disabled
+/// runs fit against the unchanged deadline.
+pub fn comm_adjusted_deadline(deadline: SimTime, comm: SimTime) -> SimTime {
+    deadline - comm
+}
+
 /// One step of the dynamic volume adjustment the paper applies during the
 /// first training cycles: a proportional controller nudging the keep
 /// ratio so the straggler's masked time converges to the capable pace.

@@ -1,0 +1,522 @@
+//! The compact binary wire format for model exchanges.
+//!
+//! Every message on the simulated network is one self-describing *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"HNET"
+//! 4       1     format version (currently 1)
+//! 5       1     frame kind: 0 = full parameter vector, 1 = masked update
+//! 6       4     sender id (u32 LE; SERVER_SENDER for broadcasts)
+//! 10      4     cycle index (u32 LE)
+//! 14      4     total parameter count n (u32 LE)
+//! 18      4     active parameter count k (u32 LE; k = n for full frames)
+//! 22      ⌈n/8⌉ activity bitset, LSB-first   (masked frames only)
+//! ...     4·k   active parameter values, f32 LE
+//! end-4   4     CRC32 (IEEE) over all preceding bytes, u32 LE
+//! ```
+//!
+//! The `f32` payload is copied bit-for-bit (`to_le_bytes`/`from_le_bytes`),
+//! so the codec is roundtrip-exact for every bit pattern including NaN
+//! payload bits and infinities. Masked frames carry only the parameters
+//! the sender actually trained; the receiver reconstructs the full vector
+//! against its own copy of the broadcast global, which is valid because a
+//! soft-trained client's masked-out parameters still hold exactly the
+//! broadcast values (see `helios_fl::LocalUpdate::param_mask`). That is
+//! what makes a straggler's upload genuinely smaller on the wire.
+
+use crate::error::NetError;
+
+/// Magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"HNET";
+
+/// Current wire format version.
+pub const VERSION: u8 = 1;
+
+/// Sender id used for server→client broadcast frames.
+pub const SERVER_SENDER: u32 = u32::MAX;
+
+/// Fixed byte size of the frame header (before bitset and payload).
+pub const HEADER_BYTES: usize = 22;
+
+/// Byte size of the CRC32 trailer.
+pub const CHECKSUM_BYTES: usize = 4;
+
+const KIND_FULL: u8 = 0;
+const KIND_MASKED: u8 = 1;
+
+/// IEEE 802.3 CRC32 lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The IEEE CRC32 of `data` (reflected polynomial 0xEDB88320).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Byte-level breakdown of one frame — the report the benchmarks use to
+/// show that a soft-trained straggler's upload is genuinely smaller than
+/// a full-model upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WireSize {
+    /// Fixed header bytes ([`HEADER_BYTES`]).
+    pub header_bytes: usize,
+    /// Activity-bitset bytes (`⌈n/8⌉` for masked frames, 0 for full).
+    pub mask_bytes: usize,
+    /// `f32` payload bytes (4 per transmitted parameter).
+    pub payload_bytes: usize,
+    /// CRC trailer bytes ([`CHECKSUM_BYTES`]).
+    pub checksum_bytes: usize,
+}
+
+impl WireSize {
+    /// Size of a full-model frame carrying `params` parameters.
+    pub fn full(params: usize) -> Self {
+        WireSize {
+            header_bytes: HEADER_BYTES,
+            mask_bytes: 0,
+            payload_bytes: 4 * params,
+            checksum_bytes: CHECKSUM_BYTES,
+        }
+    }
+
+    /// Size of a masked frame carrying `active` of `params` parameters.
+    pub fn masked(params: usize, active: usize) -> Self {
+        WireSize {
+            header_bytes: HEADER_BYTES,
+            mask_bytes: params.div_ceil(8),
+            payload_bytes: 4 * active,
+            checksum_bytes: CHECKSUM_BYTES,
+        }
+    }
+
+    /// Total frame size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.header_bytes + self.mask_bytes + self.payload_bytes + self.checksum_bytes
+    }
+}
+
+/// A decoded wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Sender id ([`SERVER_SENDER`] for broadcasts).
+    pub sender: u32,
+    /// Cycle index the frame belongs to.
+    pub cycle: u32,
+    /// The parameter payload.
+    pub payload: Payload,
+}
+
+/// The parameter payload of a [`Frame`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Every parameter, in canonical order.
+    Full(Vec<f32>),
+    /// Only the actively trained parameters, plus the activity bitset
+    /// locating them in the full vector.
+    Masked {
+        /// Per-parameter activity (length = total parameter count).
+        mask: Vec<bool>,
+        /// Values of the active parameters, in mask order.
+        active: Vec<f32>,
+    },
+}
+
+impl Frame {
+    /// Total parameter count of the model this frame describes.
+    pub fn param_len(&self) -> usize {
+        match &self.payload {
+            Payload::Full(p) => p.len(),
+            Payload::Masked { mask, .. } => mask.len(),
+        }
+    }
+
+    /// Reassembles the full parameter vector. For masked frames, inactive
+    /// entries are filled from `base` — the receiver's copy of the global
+    /// vector the sender trained from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ParamLengthMismatch`] when `base` does not
+    /// match the frame's parameter count (full frames do not consult
+    /// `base` and only check the length).
+    pub fn into_params(self, base: &[f32]) -> Result<Vec<f32>, NetError> {
+        match self.payload {
+            Payload::Full(p) => {
+                if p.len() != base.len() {
+                    return Err(NetError::ParamLengthMismatch {
+                        expected: base.len(),
+                        actual: p.len(),
+                    });
+                }
+                Ok(p)
+            }
+            Payload::Masked { mask, active } => {
+                if mask.len() != base.len() {
+                    return Err(NetError::ParamLengthMismatch {
+                        expected: base.len(),
+                        actual: mask.len(),
+                    });
+                }
+                let mut out = base.to_vec();
+                let mut next = active.iter();
+                for (slot, &on) in out.iter_mut().zip(&mask) {
+                    if on {
+                        // Decode validated |active| == popcount(mask).
+                        if let Some(&v) = next.next() {
+                            *slot = v;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+fn check_len(params: usize) -> Result<u32, NetError> {
+    u32::try_from(params).map_err(|_| NetError::TooManyParams(params))
+}
+
+fn push_header(buf: &mut Vec<u8>, kind: u8, sender: u32, cycle: u32, n: u32, k: u32) {
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(kind);
+    buf.extend_from_slice(&sender.to_le_bytes());
+    buf.extend_from_slice(&cycle.to_le_bytes());
+    buf.extend_from_slice(&n.to_le_bytes());
+    buf.extend_from_slice(&k.to_le_bytes());
+}
+
+fn seal(mut buf: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Encodes a full parameter vector.
+///
+/// # Errors
+///
+/// Returns [`NetError::TooManyParams`] when the vector exceeds the `u32`
+/// length field.
+pub fn encode_full(sender: u32, cycle: u32, params: &[f32]) -> Result<Vec<u8>, NetError> {
+    let n = check_len(params.len())?;
+    let mut buf = Vec::with_capacity(WireSize::full(params.len()).total_bytes());
+    push_header(&mut buf, KIND_FULL, sender, cycle, n, n);
+    for p in params {
+        buf.extend_from_slice(&p.to_le_bytes());
+    }
+    Ok(seal(buf))
+}
+
+/// Encodes a masked update: the activity bitset plus only the active
+/// parameter values.
+///
+/// # Errors
+///
+/// Returns [`NetError::MaskLengthMismatch`] when `mask` and `params`
+/// disagree, or [`NetError::TooManyParams`] for oversized vectors.
+pub fn encode_masked(
+    sender: u32,
+    cycle: u32,
+    params: &[f32],
+    mask: &[bool],
+) -> Result<Vec<u8>, NetError> {
+    if mask.len() != params.len() {
+        return Err(NetError::MaskLengthMismatch {
+            params: params.len(),
+            mask: mask.len(),
+        });
+    }
+    let n = check_len(params.len())?;
+    let active = mask.iter().filter(|&&b| b).count();
+    let k = check_len(active)?;
+    let mut buf = Vec::with_capacity(WireSize::masked(params.len(), active).total_bytes());
+    push_header(&mut buf, KIND_MASKED, sender, cycle, n, k);
+    for chunk in mask.chunks(8) {
+        let mut byte = 0u8;
+        for (bit, &on) in chunk.iter().enumerate() {
+            if on {
+                byte |= 1 << bit;
+            }
+        }
+        buf.push(byte);
+    }
+    for (p, &on) in params.iter().zip(mask) {
+        if on {
+            buf.extend_from_slice(&p.to_le_bytes());
+        }
+    }
+    Ok(seal(buf))
+}
+
+/// Encodes a local update, choosing the masked layout when a mask is
+/// present and the full layout otherwise.
+///
+/// # Errors
+///
+/// Same conditions as [`encode_full`] and [`encode_masked`].
+pub fn encode_update(
+    sender: u32,
+    cycle: u32,
+    params: &[f32],
+    mask: Option<&[bool]>,
+) -> Result<Vec<u8>, NetError> {
+    match mask {
+        Some(m) => encode_masked(sender, cycle, params, m),
+        None => encode_full(sender, cycle, params),
+    }
+}
+
+/// Fast integrity check: magic, minimum length, and CRC32. Used by the
+/// transport to model receiver-side corruption detection without a full
+/// decode.
+pub fn verify(bytes: &[u8]) -> bool {
+    if bytes.len() < HEADER_BYTES + CHECKSUM_BYTES || bytes[..4] != MAGIC {
+        return false;
+    }
+    let body = &bytes[..bytes.len() - CHECKSUM_BYTES];
+    let mut stored = [0u8; 4];
+    stored.copy_from_slice(&bytes[bytes.len() - CHECKSUM_BYTES..]);
+    crc32(body) == u32::from_le_bytes(stored)
+}
+
+fn read_u32(bytes: &[u8], offset: usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&bytes[offset..offset + 4]);
+    u32::from_le_bytes(raw)
+}
+
+/// Decodes and validates one frame.
+///
+/// # Errors
+///
+/// Returns a [`NetError`] describing the first violated invariant: bad
+/// magic, unsupported version, truncation, trailing bytes, checksum
+/// mismatch, unknown kind, or a bitset/active-count disagreement.
+pub fn decode(bytes: &[u8]) -> Result<Frame, NetError> {
+    if bytes.len() < HEADER_BYTES + CHECKSUM_BYTES {
+        return Err(NetError::Truncated {
+            needed: HEADER_BYTES + CHECKSUM_BYTES,
+            available: bytes.len(),
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(NetError::BadMagic);
+    }
+    if bytes[4] != VERSION {
+        return Err(NetError::UnsupportedVersion(bytes[4]));
+    }
+    let body = &bytes[..bytes.len() - CHECKSUM_BYTES];
+    let stored = read_u32(bytes, bytes.len() - CHECKSUM_BYTES);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(NetError::ChecksumMismatch { stored, computed });
+    }
+    let kind = bytes[5];
+    let sender = read_u32(bytes, 6);
+    let cycle = read_u32(bytes, 10);
+    let n = read_u32(bytes, 14) as usize;
+    let k = read_u32(bytes, 18) as usize;
+    let expected = match kind {
+        KIND_FULL => WireSize::full(n).total_bytes(),
+        KIND_MASKED => WireSize::masked(n, k).total_bytes(),
+        other => return Err(NetError::UnknownFrameKind(other)),
+    };
+    if bytes.len() < expected {
+        return Err(NetError::Truncated {
+            needed: expected,
+            available: bytes.len(),
+        });
+    }
+    if bytes.len() > expected {
+        return Err(NetError::TrailingBytes {
+            expected,
+            actual: bytes.len(),
+        });
+    }
+    let payload = match kind {
+        KIND_FULL => {
+            if k != n {
+                return Err(NetError::MaskCountMismatch {
+                    declared: k,
+                    counted: n,
+                });
+            }
+            let mut params = Vec::with_capacity(n);
+            let mut off = HEADER_BYTES;
+            for _ in 0..n {
+                params.push(f32::from_le_bytes([
+                    bytes[off],
+                    bytes[off + 1],
+                    bytes[off + 2],
+                    bytes[off + 3],
+                ]));
+                off += 4;
+            }
+            Payload::Full(params)
+        }
+        _ => {
+            let mask_bytes = n.div_ceil(8);
+            let mut mask = Vec::with_capacity(n);
+            for i in 0..n {
+                let byte = bytes[HEADER_BYTES + i / 8];
+                mask.push(byte & (1 << (i % 8)) != 0);
+            }
+            let counted = mask.iter().filter(|&&b| b).count();
+            if counted != k {
+                return Err(NetError::MaskCountMismatch {
+                    declared: k,
+                    counted,
+                });
+            }
+            let mut active = Vec::with_capacity(k);
+            let mut off = HEADER_BYTES + mask_bytes;
+            for _ in 0..k {
+                active.push(f32::from_le_bytes([
+                    bytes[off],
+                    bytes[off + 1],
+                    bytes[off + 2],
+                    bytes[off + 3],
+                ]));
+                off += 4;
+            }
+            Payload::Masked { mask, active }
+        }
+    };
+    Ok(Frame {
+        sender,
+        cycle,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The classic check value for IEEE CRC32.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn full_roundtrip_is_bitwise_exact() {
+        let params = vec![
+            0.0,
+            -0.0,
+            1.5,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            f32::from_bits(0x7fc0_dead), // NaN with payload bits
+        ];
+        let frame = encode_full(3, 9, &params).unwrap();
+        assert_eq!(frame.len(), WireSize::full(params.len()).total_bytes());
+        assert!(verify(&frame));
+        let decoded = decode(&frame).unwrap();
+        assert_eq!(decoded.sender, 3);
+        assert_eq!(decoded.cycle, 9);
+        let out = decoded.into_params(&vec![0.0; params.len()]).unwrap();
+        let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        let expect: Vec<u32> = params.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, expect);
+    }
+
+    #[test]
+    fn masked_roundtrip_reconstructs_against_base() {
+        let base = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+        let mut trained = base.clone();
+        trained[1] = -2.0;
+        trained[4] = 7.5;
+        let mask = vec![false, true, false, false, true];
+        let frame = encode_masked(1, 0, &trained, &mask).unwrap();
+        assert_eq!(frame.len(), WireSize::masked(5, 2).total_bytes());
+        let out = decode(&frame).unwrap().into_params(&base).unwrap();
+        assert_eq!(out, trained);
+    }
+
+    #[test]
+    fn masked_upload_is_smaller_than_full() {
+        let n = 10_000;
+        let active = 3_000;
+        assert!(WireSize::masked(n, active).total_bytes() < WireSize::full(n).total_bytes());
+    }
+
+    #[test]
+    fn corruption_is_detected_at_every_byte() {
+        let frame = encode_full(0, 0, &[1.0, 2.0, 3.0]).unwrap();
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x41;
+            assert!(!verify(&bad), "flip at byte {i} undetected");
+            assert!(decode(&bad).is_err(), "flip at byte {i} decoded");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_frames() {
+        assert!(matches!(decode(&[]), Err(NetError::Truncated { .. })));
+        let ok = encode_full(0, 0, &[1.0]).unwrap();
+        let mut wrong_magic = ok.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(decode(&wrong_magic), Err(NetError::BadMagic)));
+        let mut truncated = ok.clone();
+        truncated.truncate(ok.len() - 5);
+        assert!(decode(&truncated).is_err());
+        let mut extended = ok.clone();
+        extended.push(0);
+        assert!(decode(&extended).is_err());
+    }
+
+    #[test]
+    fn encode_masked_validates_mask_length() {
+        let err = encode_masked(0, 0, &[1.0, 2.0], &[true]);
+        assert!(matches!(err, Err(NetError::MaskLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn into_params_validates_base_length() {
+        let frame = decode(&encode_full(0, 0, &[1.0, 2.0]).unwrap()).unwrap();
+        assert!(matches!(
+            frame.into_params(&[0.0; 3]),
+            Err(NetError::ParamLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_update_picks_layout_by_mask() {
+        let full = encode_update(0, 0, &[1.0, 2.0], None).unwrap();
+        let masked = encode_update(0, 0, &[1.0, 2.0], Some(&[true, false])).unwrap();
+        assert!(matches!(decode(&full).unwrap().payload, Payload::Full(_)));
+        assert!(matches!(
+            decode(&masked).unwrap().payload,
+            Payload::Masked { .. }
+        ));
+    }
+}

@@ -1,0 +1,310 @@
+//! Link profiles and fault/transport configuration.
+//!
+//! Everything here is a plain-old-data `Copy` struct with `serde`
+//! defaults, so a [`NetConfig`] can be embedded in `helios_fl::FlConfig`
+//! without breaking `Copy` or the loadability of pre-existing JSON
+//! configs (a missing `net` section deserializes to the disabled
+//! default).
+
+use crate::error::NetError;
+use helios_device::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth/latency/jitter description of one device's uplink and
+/// downlink (links are modeled symmetric).
+///
+/// The default profile is the *ideal link*: unlimited bandwidth, zero
+/// latency, zero jitter. Routing a round through an ideal link adds
+/// exactly zero simulated time, which is what keeps transport-routed
+/// runs bitwise identical to the direct in-memory path when networking
+/// is enabled without link constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Sustained throughput in bytes per second; `None` = unlimited.
+    #[serde(default)]
+    pub bandwidth_bps: Option<f64>,
+    /// Fixed one-way latency per message, in seconds.
+    #[serde(default)]
+    pub latency_s: f64,
+    /// Maximum uniform jitter added per message, in seconds (the draw
+    /// comes from the transport's per-device RNG).
+    #[serde(default)]
+    pub jitter_s: f64,
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile::ideal()
+    }
+}
+
+impl LinkProfile {
+    /// The ideal link: unlimited bandwidth, zero latency, zero jitter.
+    pub const fn ideal() -> Self {
+        LinkProfile {
+            bandwidth_bps: None,
+            latency_s: 0.0,
+            jitter_s: 0.0,
+        }
+    }
+
+    /// A bandwidth- and latency-constrained link.
+    pub const fn constrained(bandwidth_bps: f64, latency_s: f64) -> Self {
+        LinkProfile {
+            bandwidth_bps: Some(bandwidth_bps),
+            latency_s,
+            jitter_s: 0.0,
+        }
+    }
+
+    /// Adds uniform jitter in `[0, jitter_s)` per message.
+    pub const fn with_jitter(mut self, jitter_s: f64) -> Self {
+        self.jitter_s = jitter_s;
+        self
+    }
+
+    /// Whether this link adds no simulated time at all.
+    pub fn is_ideal(&self) -> bool {
+        self.bandwidth_bps.is_none() && self.latency_s == 0.0 && self.jitter_s == 0.0
+    }
+
+    /// Deterministic expected transfer time for `bytes` (latency plus
+    /// serialization delay, without jitter or faults) — the estimator the
+    /// Helios scheduler uses for deadlines and straggler ranking.
+    pub fn expected_transfer(&self, bytes: usize) -> SimTime {
+        let serialization = match self.bandwidth_bps {
+            Some(bw) => bytes as f64 / bw,
+            None => 0.0,
+        };
+        SimTime::from_secs(self.latency_s + serialization)
+    }
+
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] for non-finite or non-positive
+    /// bandwidth, or negative/non-finite latency or jitter.
+    pub fn validate(&self) -> Result<(), NetError> {
+        if let Some(bw) = self.bandwidth_bps {
+            if !(bw.is_finite() && bw > 0.0) {
+                return Err(NetError::InvalidConfig {
+                    what: format!("bandwidth {bw} must be positive and finite"),
+                });
+            }
+        }
+        for (name, v) in [("latency_s", self.latency_s), ("jitter_s", self.jitter_s)] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(NetError::InvalidConfig {
+                    what: format!("{name} {v} must be non-negative and finite"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Probabilities of the injected transmission faults. All default to
+/// zero (a quiet network).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that a transmission attempt is silently lost.
+    #[serde(default)]
+    pub drop_prob: f64,
+    /// Probability that an attempt arrives with a flipped byte; the
+    /// receiver's CRC32 check detects it and the sender retries.
+    #[serde(default)]
+    pub corrupt_prob: f64,
+    /// Probability that an attempt suffers an extra queuing delay.
+    #[serde(default)]
+    pub delay_prob: f64,
+    /// Maximum extra delay in seconds (uniform in `[0, max)`).
+    #[serde(default)]
+    pub max_extra_delay_s: f64,
+}
+
+impl FaultConfig {
+    /// Whether every fault probability is zero.
+    pub fn is_quiet(&self) -> bool {
+        self.drop_prob == 0.0 && self.corrupt_prob == 0.0 && self.delay_prob == 0.0
+    }
+
+    /// Validates the fault probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] for probabilities outside
+    /// `[0, 1]` or a negative/non-finite delay bound.
+    pub fn validate(&self) -> Result<(), NetError> {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("delay_prob", self.delay_prob),
+        ] {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(NetError::InvalidConfig {
+                    what: format!("{name} {p} outside [0, 1]"),
+                });
+            }
+        }
+        if !(self.max_extra_delay_s.is_finite() && self.max_extra_delay_s >= 0.0) {
+            return Err(NetError::InvalidConfig {
+                what: format!(
+                    "max_extra_delay_s {} must be non-negative and finite",
+                    self.max_extra_delay_s
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn default_max_retries() -> u32 {
+    3
+}
+
+fn default_retry_backoff_s() -> f64 {
+    0.05
+}
+
+/// The network section of a federated run configuration.
+///
+/// Every field has a `serde` default, so configs written before this
+/// section existed keep loading unchanged (they get the disabled
+/// default). With `enabled: false` the environment never constructs a
+/// transport and rounds take the direct in-memory path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Route rounds through the simulated transport.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Link profile every device starts with (override per device via
+    /// the transport or `FlEnv::set_link`).
+    #[serde(default)]
+    pub link: LinkProfile,
+    /// Fault-injection probabilities.
+    #[serde(default)]
+    pub faults: FaultConfig,
+    /// Transmission attempts beyond the first before a message is given
+    /// up as failed.
+    #[serde(default = "default_max_retries")]
+    pub max_retries: u32,
+    /// Base retry backoff in seconds; attempt `i` waits `backoff · 2^i`.
+    #[serde(default = "default_retry_backoff_s")]
+    pub retry_backoff_s: f64,
+    /// Per-round deadline in seconds; a participant whose exchange
+    /// completes later misses the cycle (`None` = wait forever).
+    #[serde(default)]
+    pub round_timeout_s: Option<f64>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            enabled: false,
+            link: LinkProfile::ideal(),
+            faults: FaultConfig::default(),
+            max_retries: default_max_retries(),
+            retry_backoff_s: default_retry_backoff_s(),
+            round_timeout_s: None,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] when the link, faults,
+    /// backoff, or timeout hold invalid values.
+    pub fn validate(&self) -> Result<(), NetError> {
+        self.link.validate()?;
+        self.faults.validate()?;
+        if !(self.retry_backoff_s.is_finite() && self.retry_backoff_s >= 0.0) {
+            return Err(NetError::InvalidConfig {
+                what: format!(
+                    "retry_backoff_s {} must be non-negative and finite",
+                    self.retry_backoff_s
+                ),
+            });
+        }
+        if let Some(t) = self.round_timeout_s {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(NetError::InvalidConfig {
+                    what: format!("round_timeout_s {t} must be positive and finite"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_and_ideal() {
+        let cfg = NetConfig::default();
+        assert!(!cfg.enabled);
+        assert!(cfg.link.is_ideal());
+        assert!(cfg.faults.is_quiet());
+        assert!(cfg.round_timeout_s.is_none());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn ideal_link_transfers_in_zero_time() {
+        let link = LinkProfile::ideal();
+        assert_eq!(link.expected_transfer(1 << 30), SimTime::ZERO);
+    }
+
+    #[test]
+    fn constrained_link_models_latency_plus_serialization() {
+        let link = LinkProfile::constrained(1000.0, 0.25);
+        let t = link.expected_transfer(500);
+        assert!((t.as_secs_f64() - 0.75).abs() < 1e-12);
+        assert!(!link.is_ideal());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut link = LinkProfile::constrained(0.0, 0.0);
+        assert!(link.validate().is_err());
+        link.bandwidth_bps = Some(f64::NAN);
+        assert!(link.validate().is_err());
+        let link = LinkProfile {
+            latency_s: -1.0,
+            ..LinkProfile::ideal()
+        };
+        assert!(link.validate().is_err());
+        let faults = FaultConfig {
+            drop_prob: 1.5,
+            ..FaultConfig::default()
+        };
+        assert!(faults.validate().is_err());
+        let cfg = NetConfig {
+            round_timeout_s: Some(0.0),
+            ..NetConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = NetConfig {
+            retry_backoff_s: f64::INFINITY,
+            ..NetConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn partial_json_fills_defaults() {
+        // A config section naming only what it changes.
+        let v: NetConfig =
+            serde_json::from_str(r#"{"enabled": true, "link": {"latency_s": 0.1}}"#).unwrap();
+        assert!(v.enabled);
+        assert_eq!(v.link.latency_s, 0.1);
+        assert!(v.link.bandwidth_bps.is_none());
+        assert_eq!(v.max_retries, 3);
+        assert_eq!(v.retry_backoff_s, 0.05);
+    }
+}

@@ -1,0 +1,455 @@
+//! The simulated transport: per-device links, deterministic fault
+//! injection, and retry-with-backoff delivery.
+
+use crate::codec;
+use crate::error::NetError;
+use crate::link::{FaultConfig, LinkProfile, NetConfig};
+use helios_device::SimTime;
+use helios_tensor::TensorRng;
+use serde::{Deserialize, Serialize};
+
+/// Whether a message travels server→device or device→server (statistics
+/// bookkeeping only; links are symmetric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Server → device (global model broadcast).
+    Download,
+    /// Device → server (local update upload).
+    Upload,
+}
+
+/// Aggregate counters over every transmission the transport performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Messages handed to the transport.
+    pub messages: u64,
+    /// Individual transmission attempts (≥ `messages`).
+    pub attempts: u64,
+    /// Re-transmissions after a drop or detected corruption.
+    pub retries: u64,
+    /// Attempts lost in flight.
+    pub drops: u64,
+    /// Attempts whose corruption the receiver's CRC32 check caught.
+    pub corruptions_detected: u64,
+    /// Attempts that suffered an extra queuing delay.
+    pub extra_delays: u64,
+    /// Messages abandoned after exhausting every retry.
+    pub failures: u64,
+    /// Participants cut off by the per-round deadline.
+    pub timeouts: u64,
+    /// Bytes put on the wire, counting every attempt.
+    pub bytes_on_wire: u64,
+    /// Bytes of successfully delivered messages (final attempt only).
+    pub delivered_bytes: u64,
+}
+
+/// Per-device traffic counters, used by the benchmarks to compare a
+/// soft-trained straggler's wire volume against a full-model client's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Bytes uploaded by this device (delivered messages only).
+    pub upload_bytes: u64,
+    /// Bytes downloaded by this device (delivered messages only).
+    pub download_bytes: u64,
+    /// Re-transmissions on this device's link.
+    pub retries: u64,
+    /// Cycles this device missed (deadline or retry exhaustion).
+    pub missed_cycles: u64,
+}
+
+/// The outcome of transmitting one message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transmission {
+    /// The delivered frame, or `None` when every attempt failed.
+    pub delivered: Option<Vec<u8>>,
+    /// Simulated time from send to delivery (or to giving up), including
+    /// retries and backoff.
+    pub elapsed: SimTime,
+    /// Number of transmission attempts made.
+    pub attempts: u32,
+}
+
+/// A deterministic store-and-forward network simulator.
+///
+/// Each device owns a [`LinkProfile`] and a ChaCha RNG forked from the
+/// run seed, so jitter and fault draws are a pure function of `(seed,
+/// config, traffic order)` — the determinism contract is *same seed +
+/// same fault config ⇒ same byte streams and same simulated times*.
+/// Faults never panic: a message that exhausts its retries is reported
+/// as undelivered and the round layer degrades it to "client missed
+/// this cycle".
+#[derive(Debug, Clone)]
+pub struct SimTransport {
+    links: Vec<LinkProfile>,
+    faults: FaultConfig,
+    max_retries: u32,
+    retry_backoff_s: f64,
+    rngs: Vec<TensorRng>,
+    stats: TransportStats,
+    device_stats: Vec<DeviceStats>,
+    base_seed: u64,
+    default_link: LinkProfile,
+}
+
+fn device_seed(base: u64, device: usize) -> u64 {
+    // Golden-ratio mixing keyed away from other seed consumers ("NETW").
+    base ^ 0x4e45_5457u64 ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(device as u64 + 1)
+}
+
+impl SimTransport {
+    /// Builds a transport for `num_devices` devices, all starting on the
+    /// configured default link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] when `config` fails
+    /// validation.
+    pub fn new(num_devices: usize, config: &NetConfig, seed: u64) -> Result<Self, NetError> {
+        config.validate()?;
+        let mut t = SimTransport {
+            links: Vec::new(),
+            faults: config.faults,
+            max_retries: config.max_retries,
+            retry_backoff_s: config.retry_backoff_s,
+            rngs: Vec::new(),
+            stats: TransportStats::default(),
+            device_stats: Vec::new(),
+            base_seed: seed,
+            default_link: config.link,
+        };
+        for _ in 0..num_devices {
+            t.add_device();
+        }
+        Ok(t)
+    }
+
+    /// Registers one more device on the default link and returns its
+    /// index (used when a device joins mid-run).
+    pub fn add_device(&mut self) -> usize {
+        let device = self.links.len();
+        self.links.push(self.default_link);
+        self.rngs
+            .push(TensorRng::seed_from(device_seed(self.base_seed, device)));
+        self.device_stats.push(DeviceStats::default());
+        device
+    }
+
+    /// Number of registered devices.
+    pub fn num_devices(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link profile of `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownDevice`] for an out-of-range index.
+    pub fn link(&self, device: usize) -> Result<&LinkProfile, NetError> {
+        self.links.get(device).ok_or(NetError::UnknownDevice {
+            device,
+            num_devices: self.links.len(),
+        })
+    }
+
+    /// Replaces the link profile of `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownDevice`] for an out-of-range index or
+    /// [`NetError::InvalidConfig`] for an invalid profile.
+    pub fn set_link(&mut self, device: usize, link: LinkProfile) -> Result<(), NetError> {
+        link.validate()?;
+        let n = self.links.len();
+        let slot = self.links.get_mut(device).ok_or(NetError::UnknownDevice {
+            device,
+            num_devices: n,
+        })?;
+        *slot = link;
+        Ok(())
+    }
+
+    /// Aggregate transmission statistics.
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    /// Per-device traffic statistics, indexed by device.
+    pub fn device_stats(&self) -> &[DeviceStats] {
+        &self.device_stats
+    }
+
+    /// Records that `device` missed a cycle because of the per-round
+    /// deadline (called by the round layer).
+    pub(crate) fn note_timeout(&mut self, device: usize) {
+        self.stats.timeouts += 1;
+        if let Some(d) = self.device_stats.get_mut(device) {
+            d.missed_cycles += 1;
+        }
+    }
+
+    pub(crate) fn note_failure_missed(&mut self, device: usize) {
+        if let Some(d) = self.device_stats.get_mut(device) {
+            d.missed_cycles += 1;
+        }
+    }
+
+    /// Transmits `frame` over `device`'s link, retrying dropped or
+    /// corrupted attempts with exponential backoff.
+    ///
+    /// Fault draws are consumed only when the corresponding probability
+    /// is nonzero, so a quiet configuration leaves the RNG streams
+    /// untouched and delivery takes exactly the link's transfer time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownDevice`] for an out-of-range index.
+    /// Exhausted retries are *not* an error: the returned
+    /// [`Transmission`] reports `delivered: None`.
+    pub fn transmit(
+        &mut self,
+        device: usize,
+        frame: &[u8],
+        direction: Direction,
+    ) -> Result<Transmission, NetError> {
+        let link = *self.link(device)?;
+        self.stats.messages += 1;
+        let mut elapsed = 0.0f64;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.stats.attempts += 1;
+            self.stats.bytes_on_wire += frame.len() as u64;
+            let mut transfer = link.expected_transfer(frame.len()).as_secs_f64();
+            let rng = &mut self.rngs[device];
+            if link.jitter_s > 0.0 {
+                transfer += rng.unit_f64() * link.jitter_s;
+            }
+            if self.faults.delay_prob > 0.0 && rng.unit_f64() < self.faults.delay_prob {
+                transfer += rng.unit_f64() * self.faults.max_extra_delay_s;
+                self.stats.extra_delays += 1;
+            }
+            elapsed += transfer;
+            let dropped = self.faults.drop_prob > 0.0 && rng.unit_f64() < self.faults.drop_prob;
+            if dropped {
+                self.stats.drops += 1;
+            } else {
+                let corrupted =
+                    self.faults.corrupt_prob > 0.0 && rng.unit_f64() < self.faults.corrupt_prob;
+                if corrupted && !frame.is_empty() {
+                    // Flip one byte en route and run the receiver's
+                    // integrity check: CRC32 detects every single-byte
+                    // error, so the receiver requests a retransmission.
+                    let idx = rng.below(frame.len());
+                    let flip = (rng.below(255) + 1) as u8;
+                    let mut damaged = frame.to_vec();
+                    damaged[idx] ^= flip;
+                    if codec::verify(&damaged) {
+                        // Unreachable for CRC32 and a single flipped
+                        // byte, but if it ever passed the check the
+                        // receiver would accept the damaged frame.
+                        return Ok(self.deliver(device, direction, damaged, elapsed, attempts));
+                    }
+                    self.stats.corruptions_detected += 1;
+                } else {
+                    return Ok(self.deliver(device, direction, frame.to_vec(), elapsed, attempts));
+                }
+            }
+            if attempts > self.max_retries {
+                self.stats.failures += 1;
+                return Ok(Transmission {
+                    delivered: None,
+                    elapsed: SimTime::from_secs(elapsed),
+                    attempts,
+                });
+            }
+            self.stats.retries += 1;
+            self.device_stats[device].retries += 1;
+            elapsed += self.retry_backoff_s * f64::from(1u32 << (attempts - 1).min(16));
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        device: usize,
+        direction: Direction,
+        frame: Vec<u8>,
+        elapsed: f64,
+        attempts: u32,
+    ) -> Transmission {
+        self.stats.delivered_bytes += frame.len() as u64;
+        let d = &mut self.device_stats[device];
+        match direction {
+            Direction::Download => d.download_bytes += frame.len() as u64,
+            Direction::Upload => d.upload_bytes += frame.len() as u64,
+        }
+        Transmission {
+            delivered: Some(frame),
+            elapsed: SimTime::from_secs(elapsed),
+            attempts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_full;
+
+    fn frame() -> Vec<u8> {
+        encode_full(0, 0, &[1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    fn config(faults: FaultConfig, link: LinkProfile) -> NetConfig {
+        NetConfig {
+            enabled: true,
+            link,
+            faults,
+            ..NetConfig::default()
+        }
+    }
+
+    #[test]
+    fn ideal_quiet_link_delivers_in_zero_time_without_rng_draws() {
+        let cfg = config(FaultConfig::default(), LinkProfile::ideal());
+        let mut t = SimTransport::new(2, &cfg, 7).unwrap();
+        let f = frame();
+        let tx = t.transmit(0, &f, Direction::Upload).unwrap();
+        assert_eq!(tx.delivered.as_deref(), Some(&f[..]));
+        assert_eq!(tx.elapsed, SimTime::ZERO);
+        assert_eq!(tx.attempts, 1);
+        assert_eq!(t.stats().retries, 0);
+        assert_eq!(t.stats().bytes_on_wire, f.len() as u64);
+        assert_eq!(t.device_stats()[0].upload_bytes, f.len() as u64);
+    }
+
+    #[test]
+    fn constrained_link_accumulates_transfer_time() {
+        let cfg = config(FaultConfig::default(), LinkProfile::constrained(100.0, 1.0));
+        let mut t = SimTransport::new(1, &cfg, 7).unwrap();
+        let f = frame();
+        let tx = t.transmit(0, &f, Direction::Download).unwrap();
+        let expect = 1.0 + f.len() as f64 / 100.0;
+        assert!((tx.elapsed.as_secs_f64() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_drop_exhausts_retries_without_panicking() {
+        let faults = FaultConfig {
+            drop_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        let cfg = config(faults, LinkProfile::ideal());
+        let mut t = SimTransport::new(1, &cfg, 7).unwrap();
+        let tx = t.transmit(0, &frame(), Direction::Upload).unwrap();
+        assert!(tx.delivered.is_none());
+        assert_eq!(tx.attempts, cfg.max_retries + 1);
+        assert_eq!(t.stats().failures, 1);
+        assert_eq!(t.stats().drops as u32, cfg.max_retries + 1);
+        // Backoff made the failed exchange take nonzero simulated time.
+        assert!(tx.elapsed > SimTime::ZERO);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_retried() {
+        let faults = FaultConfig {
+            corrupt_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        let cfg = config(faults, LinkProfile::ideal());
+        let mut t = SimTransport::new(1, &cfg, 7).unwrap();
+        let tx = t.transmit(0, &frame(), Direction::Upload).unwrap();
+        // Every attempt corrupts, so the message ultimately fails —
+        // but every corruption was caught by the CRC, none delivered.
+        assert!(tx.delivered.is_none());
+        assert_eq!(t.stats().corruptions_detected as u32, cfg.max_retries + 1);
+    }
+
+    #[test]
+    fn lossy_link_eventually_delivers_clean_frames() {
+        let faults = FaultConfig {
+            drop_prob: 0.3,
+            corrupt_prob: 0.3,
+            delay_prob: 0.5,
+            max_extra_delay_s: 2.0,
+        };
+        let cfg = NetConfig {
+            max_retries: 50,
+            ..config(
+                faults,
+                LinkProfile::constrained(1e6, 0.01).with_jitter(0.01),
+            )
+        };
+        let mut t = SimTransport::new(1, &cfg, 99).unwrap();
+        let f = frame();
+        let mut delivered = 0;
+        for _ in 0..50 {
+            let tx = t.transmit(0, &f, Direction::Upload).unwrap();
+            if let Some(got) = tx.delivered {
+                assert_eq!(got, f, "delivered frames are never corrupted");
+                delivered += 1;
+            }
+        }
+        assert!(delivered > 40, "only {delivered}/50 delivered");
+        assert!(t.stats().retries > 0);
+        assert!(t.stats().corruptions_detected > 0);
+        assert!(t.stats().extra_delays > 0);
+    }
+
+    #[test]
+    fn same_seed_same_config_same_outcomes() {
+        let faults = FaultConfig {
+            drop_prob: 0.4,
+            corrupt_prob: 0.2,
+            delay_prob: 0.3,
+            max_extra_delay_s: 1.0,
+        };
+        let cfg = config(faults, LinkProfile::constrained(1e5, 0.05).with_jitter(0.2));
+        let run = || {
+            let mut t = SimTransport::new(3, &cfg, 1234).unwrap();
+            let f = frame();
+            let mut log = Vec::new();
+            for i in 0..30 {
+                let tx = t.transmit(i % 3, &f, Direction::Upload).unwrap();
+                log.push((tx.elapsed.as_secs_f64().to_bits(), tx.attempts));
+            }
+            (log, *t.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unknown_device_and_invalid_config_error() {
+        let cfg = config(FaultConfig::default(), LinkProfile::ideal());
+        let mut t = SimTransport::new(1, &cfg, 0).unwrap();
+        assert!(matches!(
+            t.transmit(5, &frame(), Direction::Upload),
+            Err(NetError::UnknownDevice { .. })
+        ));
+        assert!(t.set_link(9, LinkProfile::ideal()).is_err());
+        let bad = NetConfig {
+            faults: FaultConfig {
+                drop_prob: 2.0,
+                ..FaultConfig::default()
+            },
+            ..NetConfig::default()
+        };
+        assert!(SimTransport::new(1, &bad, 0).is_err());
+    }
+
+    #[test]
+    fn add_device_extends_fleet_deterministically() {
+        let cfg = config(FaultConfig::default(), LinkProfile::ideal());
+        let mut a = SimTransport::new(2, &cfg, 5).unwrap();
+        let id = a.add_device();
+        assert_eq!(id, 2);
+        assert_eq!(a.num_devices(), 3);
+        // A transport built with 3 devices up front has identical streams.
+        let b = SimTransport::new(3, &cfg, 5).unwrap();
+        let fa = frame();
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        let ta = a2.transmit(2, &fa, Direction::Upload).unwrap();
+        let tb = b2.transmit(2, &fa, Direction::Upload).unwrap();
+        assert_eq!(ta, tb);
+    }
+}

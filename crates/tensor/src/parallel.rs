@@ -211,7 +211,7 @@ fn split_budget(count: usize, budget: usize) -> (usize, ParallelismConfig) {
 /// clients training in parallel): item order in `out` matches input
 /// order regardless of which worker ran which item. `threads` is the
 /// *total* budget — it caps the fan-out width, and any surplus per
-/// worker is granted to that worker's kernels (see [`split_budget`]).
+/// worker is granted to that worker's kernels (the budget split).
 /// Results are bitwise identical for every budget because the kernels
 /// themselves are deterministic at any width.
 pub fn map_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
