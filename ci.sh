@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# CI gate for the Helios workspace: formatting, lints, docs, build,
-# tests, the thread-scaling microbench (emits
-# results/BENCH_parallel.json), and the network-simulation bench (emits
+# CI gate for the Helios workspace: formatting, lints (including an
+# unwrap/expect deny gate for crates/fl and crates/net non-test code),
+# docs, build, tests, the thread-scaling microbench (emits
+# results/BENCH_parallel.json), the network-simulation bench (emits
 # results/BENCH_net.json and self-checks that a soft-trained straggler's
-# upload frame is smaller than the full-model frame).
+# upload frame is smaller than the full-model frame), and the
+# round-engine phase bench (emits results/BENCH_engine.json and
+# self-checks that Helios shrinks the straggler train-phase share
+# versus synchronous FedAvg).
 #
 # Usage: ./ci.sh [--skip-bench]
 set -euo pipefail
@@ -24,6 +28,13 @@ cargo fmt --all -- --check
 
 step "cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+step "clippy unwrap/expect deny gate (crates/fl, crates/net)"
+# Both crates carry `#![cfg_attr(not(test), deny(clippy::unwrap_used,
+# clippy::expect_used))]`, locking in the PR 3 typed-error migration for
+# non-test code; this step compiles them standalone so a violation fails
+# CI even if the workspace pass above is ever narrowed.
+cargo clippy -p helios-fl -p helios-net --all-targets
 
 step "cargo doc (warnings are errors)"
 # Scoped to first-party crates: the vendored deps are workspace members
@@ -48,6 +59,13 @@ if [ "$SKIP_BENCH" -eq 0 ]; then
     # soft-trained straggler's wire frame is smaller than a full one.
     cargo run --release -p helios-bench --bin bench_net
     [ -s results/BENCH_net.json ] || { echo "BENCH_net.json missing or empty" >&2; exit 1; }
+
+    step "round-engine phase bench (results/BENCH_engine.json)"
+    # bench_engine re-parses its own JSON and exits nonzero unless Helios
+    # shrinks both total train time and the straggler's train-phase share
+    # of the round versus synchronous FedAvg.
+    cargo run --release -p helios-bench --bin bench_engine
+    [ -s results/BENCH_engine.json ] || { echo "BENCH_engine.json missing or empty" >&2; exit 1; }
 else
     step "skipping microbench (--skip-bench)"
 fi

@@ -436,6 +436,7 @@ mod tests {
                     test_loss: 0.0,
                     participants: 1,
                     comm_bytes: 0.0,
+                    phases: Default::default(),
                 });
             }
             m

@@ -1,11 +1,16 @@
 //! Asynchronous baselines: plain async FL and AFO (staleness-aware
 //! asynchronous federated optimization).
 
-use crate::{aggregate, FlEnv, FlError, MaskedUpdate, Result, RoundRecord, RunMetrics, Strategy};
+use crate::{
+    aggregate, fedavg_into_global, FlEnv, FlError, MaskedUpdate, Result, RoundPolicy, RoutedCycle,
+};
 use helios_device::SimTime;
 
 /// Computes each straggler's update period: how many capable-device
-/// aggregation cycles fit into one straggler training cycle.
+/// aggregation cycles fit into one straggler cycle. Both sides of the
+/// ratio use the *combined* cycle time (compute + expected link
+/// transfer), so a straggler behind a slow uplink is aggregated as
+/// rarely as it actually reports in.
 fn natural_periods(
     env: &FlEnv,
     straggler_ids: &[usize],
@@ -14,7 +19,7 @@ fn natural_periods(
     straggler_ids
         .iter()
         .map(|&i| {
-            let t = env.client(i)?.cycle_time().as_secs_f64();
+            let t = env.combined_cycle_time(i)?.as_secs_f64();
             let d = cycle_duration.as_secs_f64();
             Ok(if d <= 0.0 {
                 1
@@ -25,13 +30,16 @@ fn natural_periods(
         .collect()
 }
 
+/// The asynchronous aggregation cadence: the slowest capable device's
+/// full cycle, communication latency included (identical to its pure
+/// compute time when networking is disabled).
 fn capable_cycle_duration(env: &FlEnv, straggler_ids: &[usize]) -> Result<SimTime> {
     let mut d = SimTime::ZERO;
     for i in 0..env.num_clients() {
         if straggler_ids.contains(&i) {
             continue;
         }
-        d = d.max(env.client(i)?.cycle_time());
+        d = d.max(env.combined_cycle_time(i)?);
     }
     Ok(d)
 }
@@ -53,6 +61,53 @@ fn validate_stragglers(env: &FlEnv, straggler_ids: &[usize]) -> Result<()> {
     Ok(())
 }
 
+/// Shared `begin_run` body of the asynchronous policies: validates the
+/// straggler set, clears every mask (async methods do not shrink
+/// models), and hands the stragglers their initial global download.
+/// Returns `(cycle_duration, natural periods)`.
+fn async_begin_run(env: &mut FlEnv, straggler_ids: &[usize]) -> Result<(SimTime, Vec<usize>)> {
+    validate_stragglers(env, straggler_ids)?;
+    for i in 0..env.num_clients() {
+        env.client_mut(i)?.set_masks(None)?;
+    }
+    let cycle_duration = capable_cycle_duration(env, straggler_ids)?;
+    let periods = natural_periods(env, straggler_ids, cycle_duration)?;
+    for &i in straggler_ids {
+        env.send_global_to(i, 0)?;
+    }
+    Ok((cycle_duration, periods))
+}
+
+/// Shared selection: every capable device (id order), then the straggler
+/// arrivals whose period divides this cycle (straggler order).
+fn async_select(
+    env: &FlEnv,
+    straggler_ids: &[usize],
+    periods: &[usize],
+    cycle: usize,
+) -> Vec<usize> {
+    let mut participants: Vec<usize> = (0..env.num_clients())
+        .filter(|i| !straggler_ids.contains(i))
+        .collect();
+    for (s, &i) in straggler_ids.iter().enumerate() {
+        if (cycle + 1).is_multiple_of(periods[s]) {
+            participants.push(i);
+        }
+    }
+    participants
+}
+
+/// Shared broadcast: a fresh global to capable devices only — stragglers
+/// keep training on the stale download they already hold.
+fn broadcast_to_capables(env: &mut FlEnv, straggler_ids: &[usize], cycle: usize) -> Result<()> {
+    for i in 0..env.num_clients() {
+        if !straggler_ids.contains(&i) {
+            env.send_global_to(i, cycle)?;
+        }
+    }
+    Ok(())
+}
+
 /// Plain asynchronous FL — the paper's "Asyn. FL" baseline.
 ///
 /// Capable devices aggregate every cycle; each straggler's update arrives
@@ -65,6 +120,8 @@ fn validate_stragglers(env: &FlEnv, straggler_ids: &[usize]) -> Result<()> {
 pub struct AsyncFl {
     straggler_ids: Vec<usize>,
     fixed_period: Option<usize>,
+    cycle_duration: SimTime,
+    periods: Vec<usize>,
 }
 
 impl AsyncFl {
@@ -73,6 +130,8 @@ impl AsyncFl {
         AsyncFl {
             straggler_ids,
             fixed_period: None,
+            cycle_duration: SimTime::ZERO,
+            periods: Vec::new(),
         }
     }
 
@@ -87,80 +146,61 @@ impl AsyncFl {
         AsyncFl {
             straggler_ids,
             fixed_period: Some(period),
+            cycle_duration: SimTime::ZERO,
+            periods: Vec::new(),
         }
     }
 }
 
-impl Strategy for AsyncFl {
+impl RoundPolicy for AsyncFl {
     fn name(&self) -> &str {
         "async_fl"
     }
 
-    fn run(&mut self, env: &mut FlEnv, cycles: usize) -> Result<RunMetrics> {
-        validate_stragglers(env, &self.straggler_ids)?;
-        let mut metrics = RunMetrics::new(self.name());
-        // Full model everywhere: async methods do not shrink models.
-        for i in 0..env.num_clients() {
-            env.client_mut(i)?.set_masks(None)?;
-        }
-        let cycle_duration = capable_cycle_duration(env, &self.straggler_ids)?;
-        let periods = match self.fixed_period {
+    fn begin_run(&mut self, env: &mut FlEnv) -> Result<()> {
+        let (duration, periods) = async_begin_run(env, &self.straggler_ids)?;
+        self.cycle_duration = duration;
+        self.periods = match self.fixed_period {
             Some(p) => vec![p; self.straggler_ids.len()],
-            None => natural_periods(env, &self.straggler_ids, cycle_duration)?,
+            None => periods,
         };
-        // Stragglers download the initial global at cycle 0.
-        for &i in &self.straggler_ids {
-            env.send_global_to(i, 0)?;
+        Ok(())
+    }
+
+    fn select(&mut self, env: &mut FlEnv, cycle: usize) -> Result<Vec<usize>> {
+        Ok(async_select(env, &self.straggler_ids, &self.periods, cycle))
+    }
+
+    fn broadcast(&mut self, env: &mut FlEnv, cycle: usize, _participants: &[usize]) -> Result<()> {
+        broadcast_to_capables(env, &self.straggler_ids, cycle)
+    }
+
+    /// Masks were cleared once in `begin_run`; reconfiguring every cycle
+    /// would be redundant.
+    fn configure_client(&mut self, _env: &mut FlEnv, _cycle: usize, _client: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn aggregate(&mut self, env: &mut FlEnv, cycle: usize, routed: &RoutedCycle) -> Result<()> {
+        fedavg_into_global(env, &routed.updates)?;
+        // Delivered straggler arrivals re-download the fresh global.
+        for u in &routed.updates {
+            if self.straggler_ids.contains(&u.client) {
+                env.send_global_to(u.client, cycle + 1)?;
+            }
         }
-        for cycle in 0..cycles {
-            // Fresh global to capable devices only.
-            for i in 0..env.num_clients() {
-                if !self.straggler_ids.contains(&i) {
-                    env.send_global_to(i, cycle)?;
-                }
-            }
-            let mut updates = Vec::new();
-            for i in 0..env.num_clients() {
-                if !self.straggler_ids.contains(&i) {
-                    updates.push(env.client_mut(i)?.train_local()?);
-                }
-            }
-            // Straggler arrivals: their update lands every `period` cycles
-            // and was computed from the global they downloaded last.
-            let mut arrivals = Vec::new();
-            for (s, &i) in self.straggler_ids.iter().enumerate() {
-                if (cycle + 1) % periods[s] == 0 {
-                    arrivals.push(i);
-                    updates.push(env.client_mut(i)?.train_local()?);
-                }
-            }
-            let mut global = env.global().to_vec();
-            let masked: Vec<MaskedUpdate<'_>> = updates
-                .iter()
-                .map(|u| MaskedUpdate {
-                    params: &u.params,
-                    param_mask: u.param_mask.as_deref(),
-                    weight: u.num_samples as f64,
-                })
-                .collect();
-            aggregate(&mut global, &masked);
-            env.set_global(global)?;
-            // Arrived stragglers re-download the fresh global.
-            for &i in &arrivals {
-                env.send_global_to(i, cycle + 1)?;
-            }
-            env.advance_clock(cycle_duration);
-            let (test_loss, test_accuracy) = env.evaluate_global()?;
-            metrics.push(RoundRecord {
-                cycle,
-                sim_time: env.clock().now(),
-                test_accuracy,
-                test_loss,
-                participants: updates.len(),
-                comm_bytes: crate::cycle_comm_bytes(&updates),
-            });
-        }
-        Ok(metrics)
+        Ok(())
+    }
+
+    /// The clock ticks at the capable cadence regardless of the routed
+    /// span — stragglers keep computing across cycle boundaries.
+    fn cycle_span(
+        &mut self,
+        _env: &FlEnv,
+        _cycle: usize,
+        _routed: &RoutedCycle,
+    ) -> Result<SimTime> {
+        Ok(self.cycle_duration)
     }
 }
 
@@ -177,6 +217,8 @@ pub struct Afo {
     straggler_ids: Vec<usize>,
     alpha: f64,
     decay: f64,
+    cycle_duration: SimTime,
+    periods: Vec<usize>,
 }
 
 impl Afo {
@@ -187,6 +229,8 @@ impl Afo {
             straggler_ids,
             alpha: 0.6,
             decay: 0.5,
+            cycle_duration: SimTime::ZERO,
+            periods: Vec::new(),
         }
     }
 
@@ -202,6 +246,8 @@ impl Afo {
             straggler_ids,
             alpha,
             decay,
+            cycle_duration: SimTime::ZERO,
+            periods: Vec::new(),
         }
     }
 
@@ -212,83 +258,78 @@ impl Afo {
     }
 }
 
-impl Strategy for Afo {
+impl RoundPolicy for Afo {
     fn name(&self) -> &str {
         "afo"
     }
 
-    fn run(&mut self, env: &mut FlEnv, cycles: usize) -> Result<RunMetrics> {
-        validate_stragglers(env, &self.straggler_ids)?;
-        let mut metrics = RunMetrics::new(self.name());
-        for i in 0..env.num_clients() {
-            env.client_mut(i)?.set_masks(None)?;
+    fn begin_run(&mut self, env: &mut FlEnv) -> Result<()> {
+        let (duration, periods) = async_begin_run(env, &self.straggler_ids)?;
+        self.cycle_duration = duration;
+        self.periods = periods;
+        Ok(())
+    }
+
+    fn select(&mut self, env: &mut FlEnv, cycle: usize) -> Result<Vec<usize>> {
+        Ok(async_select(env, &self.straggler_ids, &self.periods, cycle))
+    }
+
+    fn broadcast(&mut self, env: &mut FlEnv, cycle: usize, _participants: &[usize]) -> Result<()> {
+        broadcast_to_capables(env, &self.straggler_ids, cycle)
+    }
+
+    /// Masks were cleared once in `begin_run`.
+    fn configure_client(&mut self, _env: &mut FlEnv, _cycle: usize, _client: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn aggregate(&mut self, env: &mut FlEnv, cycle: usize, routed: &RoutedCycle) -> Result<()> {
+        // Fresh capable updates, FedAvg-combined then mixed at alpha.
+        let mut combined = env.global().to_vec();
+        let masked: Vec<MaskedUpdate<'_>> = routed
+            .updates
+            .iter()
+            .filter(|u| !self.straggler_ids.contains(&u.client))
+            .map(|u| MaskedUpdate {
+                params: &u.params,
+                param_mask: None,
+                weight: u.num_samples as f64,
+            })
+            .collect();
+        aggregate(&mut combined, &masked);
+        let mut global = env.global().to_vec();
+        Self::mix(&mut global, &combined, self.alpha);
+        // Straggler arrivals mixed individually with decayed rate.
+        for u in routed
+            .updates
+            .iter()
+            .filter(|u| self.straggler_ids.contains(&u.client))
+        {
+            let staleness = cycle.saturating_sub(u.based_on_cycle) as f64;
+            let rate = self.alpha * (1.0 + staleness).powf(-self.decay);
+            Self::mix(&mut global, &u.params, rate);
+            env.set_global(global.clone())?;
+            env.send_global_to(u.client, cycle + 1)?;
+            global = env.global().to_vec();
         }
-        let cycle_duration = capable_cycle_duration(env, &self.straggler_ids)?;
-        let periods = natural_periods(env, &self.straggler_ids, cycle_duration)?;
-        for &i in &self.straggler_ids {
-            env.send_global_to(i, 0)?;
-        }
-        for cycle in 0..cycles {
-            for i in 0..env.num_clients() {
-                if !self.straggler_ids.contains(&i) {
-                    env.send_global_to(i, cycle)?;
-                }
-            }
-            // Fresh capable updates, FedAvg-combined then mixed at alpha.
-            let mut fresh = Vec::new();
-            for i in 0..env.num_clients() {
-                if !self.straggler_ids.contains(&i) {
-                    fresh.push(env.client_mut(i)?.train_local()?);
-                }
-            }
-            let mut participants = fresh.len();
-            let mut combined = env.global().to_vec();
-            let masked: Vec<MaskedUpdate<'_>> = fresh
-                .iter()
-                .map(|u| MaskedUpdate {
-                    params: &u.params,
-                    param_mask: None,
-                    weight: u.num_samples as f64,
-                })
-                .collect();
-            aggregate(&mut combined, &masked);
-            let mut global = env.global().to_vec();
-            Self::mix(&mut global, &combined, self.alpha);
-            // Straggler arrivals mixed individually with decayed rate.
-            for (s, &i) in self.straggler_ids.iter().enumerate() {
-                if (cycle + 1) % periods[s] == 0 {
-                    let update = env.client_mut(i)?.train_local()?;
-                    let staleness = cycle.saturating_sub(update.based_on_cycle) as f64;
-                    let rate = self.alpha * (1.0 + staleness).powf(-self.decay);
-                    Self::mix(&mut global, &update.params, rate);
-                    participants += 1;
-                    env.set_global(global.clone())?;
-                    env.send_global_to(i, cycle + 1)?;
-                    global = env.global().to_vec();
-                }
-            }
-            env.set_global(global)?;
-            env.advance_clock(cycle_duration);
-            let (test_loss, test_accuracy) = env.evaluate_global()?;
-            // Every participant exchanged a full model this cycle.
-            let full = env.global().len();
-            metrics.push(RoundRecord {
-                cycle,
-                sim_time: env.clock().now(),
-                test_accuracy,
-                test_loss,
-                participants,
-                comm_bytes: (participants * full * 8) as f64,
-            });
-        }
-        Ok(metrics)
+        env.set_global(global)
+    }
+
+    /// The clock ticks at the capable cadence (see [`AsyncFl`]).
+    fn cycle_span(
+        &mut self,
+        _env: &FlEnv,
+        _cycle: usize,
+        _routed: &RoutedCycle,
+    ) -> Result<SimTime> {
+        Ok(self.cycle_duration)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FlConfig, SyncFedAvg};
+    use crate::{FlConfig, Strategy, SyncFedAvg};
     use helios_data::{partition, Dataset, SyntheticVision};
     use helios_device::presets;
     use helios_nn::models::ModelKind;
@@ -395,5 +436,57 @@ mod tests {
             p2 >= p3 - 0.02,
             "period 2 ({p2:.3}) should not lose clearly to period 3 ({p3:.3})"
         );
+    }
+
+    /// The bugfix pin: with networking enabled and a constrained capable
+    /// link, the asynchronous cadence must include the communication
+    /// latency, so each cycle's clock advance strictly exceeds the pure
+    /// compute time.
+    #[test]
+    fn async_round_time_includes_comm_latency() {
+        use helios_net::{LinkProfile, NetConfig};
+        fn net_env(seed: u64, enabled: bool) -> FlEnv {
+            let mut rng = TensorRng::seed_from(seed);
+            let (train, test) = SyntheticVision::mnist_like()
+                .generate(120, 60, &mut rng)
+                .unwrap();
+            let shards: Vec<Dataset> = partition::iid(train.len(), 2, &mut rng)
+                .into_iter()
+                .map(|idx| train.subset(&idx).unwrap())
+                .collect();
+            FlEnv::new(
+                ModelKind::LeNet,
+                presets::mixed_fleet(1, 1),
+                shards,
+                test,
+                FlConfig {
+                    seed,
+                    net: NetConfig {
+                        enabled,
+                        ..NetConfig::default()
+                    },
+                    ..FlConfig::default()
+                },
+            )
+            .unwrap()
+        }
+        let mut slow_link = net_env(27, true);
+        slow_link
+            .set_link(0, LinkProfile::constrained(200_000.0, 0.05))
+            .unwrap();
+        let compute = slow_link.client(0).unwrap().cycle_time();
+        let combined = slow_link.combined_cycle_time(0).unwrap();
+        assert!(combined > compute, "constrained link must add latency");
+        let m = AsyncFl::new(vec![1]).run(&mut slow_link, 2).unwrap();
+        let per_cycle = m.total_time().as_secs_f64() / 2.0;
+        assert!(
+            per_cycle >= combined.as_secs_f64() - 1e-9,
+            "cadence {per_cycle} must cover compute + comm {combined}"
+        );
+        // And with networking disabled the cadence equals pure compute.
+        let mut plain = net_env(27, false);
+        let compute = plain.client(0).unwrap().cycle_time();
+        let m = AsyncFl::new(vec![1]).run(&mut plain, 2).unwrap();
+        assert!((m.total_time().as_secs_f64() / 2.0 - compute.as_secs_f64()).abs() < 1e-9);
     }
 }

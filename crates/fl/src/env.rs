@@ -345,10 +345,67 @@ impl FlEnv {
     ///
     /// Propagates the first (in client order) training error.
     pub fn train_all(&mut self) -> Result<Vec<LocalUpdate>> {
+        let all: Vec<usize> = (0..self.clients.len()).collect();
+        self.train_selected(&all)
+    }
+
+    /// Runs one local training cycle on the selected clients only,
+    /// fanning the independent per-client work out across worker
+    /// threads, and returns the updates **in `participants` order** (the
+    /// aggregation order every policy relies on).
+    ///
+    /// Selecting every client is identical to [`FlEnv::train_all`] —
+    /// same fan-out, same bitwise results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::UnknownClient`] for an out-of-range id,
+    /// [`FlError::InvalidStrategyConfig`] when an id repeats, or the
+    /// first (in client order) training error.
+    pub fn train_selected(&mut self, participants: &[usize]) -> Result<Vec<LocalUpdate>> {
+        let n = self.clients.len();
+        let mut chosen = vec![false; n];
+        for &i in participants {
+            if i >= n {
+                return Err(FlError::UnknownClient {
+                    client: i,
+                    num_clients: n,
+                });
+            }
+            if chosen[i] {
+                return Err(FlError::InvalidStrategyConfig {
+                    what: format!("client {i} selected twice in one cycle"),
+                });
+            }
+            chosen[i] = true;
+        }
         let threads = self.config.parallelism.resolve();
-        map_items_mut(&mut self.clients, threads, |_, c| c.train_local())
-            .into_iter()
-            .collect()
+        let mut selected: Vec<&mut Client> = self
+            .clients
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, c)| chosen[i].then_some(c))
+            .collect();
+        // The fan-out returns results in client-id order; errors surface
+        // in that order too, matching the historical serial loops.
+        let mut by_client: Vec<Option<LocalUpdate>> = (0..n).map(|_| None).collect();
+        for r in map_items_mut(&mut selected, threads, |_, c| c.train_local()) {
+            let u = r?;
+            let id = u.client;
+            by_client[id] = Some(u);
+        }
+        let mut out = Vec::with_capacity(participants.len());
+        for &i in participants {
+            match by_client[i].take() {
+                Some(u) => out.push(u),
+                None => {
+                    return Err(FlError::InvalidStrategyConfig {
+                        what: format!("client {i} produced no update"),
+                    })
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// The simulated clock.

@@ -12,16 +12,23 @@
 //!   parameter vector, simulated clock);
 //! - [`aggregate`] — masked weighted parameter averaging, the primitive
 //!   under every aggregation rule in the paper;
-//! - the four baseline strategies of §VII.A: [`SyncFedAvg`] (Syn. FL),
-//!   [`AsyncFl`] (Asyn. FL), [`Afo`] (asynchronous federated optimization
-//!   with staleness-decayed mixing), and [`RandomPartial`] (random
-//!   sub-model selection per Caldas et al.);
+//! - [`RoundDriver`] — the unified round-lifecycle engine: one canonical
+//!   phase sequence (selection → broadcast → local training → transport
+//!   routing → aggregation → evaluation → metrics recording) shared by
+//!   every strategy, with per-phase instrumentation recorded into each
+//!   cycle's [`PhaseBreakdown`];
+//! - the four baseline strategies of §VII.A, each a slim [`RoundPolicy`]
+//!   over the driver: [`SyncFedAvg`] (Syn. FL), [`AsyncFl`] (Asyn. FL),
+//!   [`Afo`] (asynchronous federated optimization with staleness-decayed
+//!   mixing), and [`RandomPartial`] (random sub-model selection per
+//!   Caldas et al.);
 //! - [`RunMetrics`] — accuracy-vs-cycle and accuracy-vs-simulated-time
 //!   curves plus the derived quantities the paper reports (cycles to
-//!   target accuracy, wall-clock speedup).
+//!   target accuracy, wall-clock speedup), now with a per-phase,
+//!   per-cycle breakdown and a host-side [`RunProfile`].
 //!
 //! The Helios strategy itself lives in the `helios-core` crate and plugs
-//! into the same [`Strategy`] interface.
+//! into the same [`RoundPolicy`]/[`Strategy`] interface.
 //!
 //! # Example
 //!
@@ -56,9 +63,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The PR 3 typed-error migration removed every panicking shortcut from
+// non-test code; this keeps them out. Tests may still unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod asynchronous;
 mod client;
+mod driver;
 mod env;
 mod error;
 mod metrics;
@@ -69,9 +80,10 @@ mod sync;
 
 pub use asynchronous::{Afo, AsyncFl};
 pub use client::{Client, LocalUpdate, DEFAULT_MEMORY_SCALE, GRAD_CLIP_NORM};
+pub use driver::{fedavg_into_global, RoundDriver, RoundPolicy};
 pub use env::{FlConfig, FlEnv, RoutedCycle};
 pub use error::FlError;
-pub use metrics::{RoundRecord, RunMetrics};
+pub use metrics::{PhaseBreakdown, RoundRecord, RunMetrics, RunProfile};
 pub use random_partial::{random_mask, RandomPartial};
 pub use server::{aggregate, cycle_comm_bytes, MaskedUpdate};
 pub use strategy::Strategy;

@@ -4,6 +4,61 @@ use helios_device::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
+/// Per-phase breakdown of one aggregation cycle, populated by the round
+/// driver identically for every strategy.
+///
+/// The simulated fields (`train_s`, `comm_s`) partition the cycle's
+/// simulated span: `train_s + comm_s` equals the clock advance the cycle
+/// produced. The wire fields come from the simulated transport and are
+/// zero when networking is disabled. The flop counters are snapshot
+/// deltas of the process-wide kernel counters. Equality compares only
+/// the simulated outcome (timing partition and participation) — see
+/// [`PhaseBreakdown::eq`] for why the observability counters (wire
+/// bytes, retries, flops) are excluded.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Simulated local-training time: the slowest participant's compute
+    /// span, clipped to the cycle span (async schemes advance by the
+    /// capable pace even while a straggler keeps computing).
+    pub train_s: f64,
+    /// Simulated communication/waiting time: the cycle span minus
+    /// `train_s` — transport latency, retries, and deadline waiting.
+    pub comm_s: f64,
+    /// Bytes actually put on the simulated wire this cycle, counting
+    /// every retry attempt (0 when networking is disabled).
+    pub wire_bytes: u64,
+    /// Transport re-transmissions this cycle.
+    pub retries: u64,
+    /// Participants that missed the cycle (retry exhaustion or
+    /// deadline).
+    pub missed: usize,
+    /// Client updates folded into the global model this cycle.
+    pub aggregated_updates: usize,
+    /// Kernel floating-point operations counted during the local
+    /// training phase (not compared — see the struct docs).
+    pub train_flops: u64,
+    /// Kernel floating-point operations counted during global-model
+    /// evaluation (not compared — see the struct docs).
+    pub eval_flops: u64,
+}
+
+impl PartialEq for PhaseBreakdown {
+    /// Compares the *simulated collaboration outcome* — the timing
+    /// partition and the participation counts. The observability
+    /// counters are excluded: the flop counters are process-global and
+    /// interleave with concurrent runs, and the wire/retry counters
+    /// describe how the transport carried the exchange, which differs
+    /// between a routed and a direct run even when the learning outcome
+    /// is bitwise identical (the transparency invariant the parity
+    /// suites assert).
+    fn eq(&self, other: &Self) -> bool {
+        self.train_s == other.train_s
+            && self.comm_s == other.comm_s
+            && self.missed == other.missed
+            && self.aggregated_updates == other.aggregated_updates
+    }
+}
+
 /// State of the collaboration after one aggregation cycle.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
@@ -21,6 +76,42 @@ pub struct RoundRecord {
     /// Bytes exchanged with the server this cycle (uploads of trained
     /// parameters plus full-model downloads).
     pub comm_bytes: f64,
+    /// Per-phase breakdown of the cycle. Defaults to zeros when
+    /// deserializing result files written before this field existed.
+    #[serde(default)]
+    pub phases: PhaseBreakdown,
+}
+
+/// Host-side profile of one strategy run, filled in by the round driver.
+///
+/// All fields are *wall-clock* observations of this process (seconds of
+/// real time, summed across worker threads for the fan-out phases) —
+/// they describe how long the simulation took to execute, never the
+/// simulated timeline, and are excluded from [`RunMetrics`] equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Wall time spent in client selection and per-client configuration.
+    pub setup_s: f64,
+    /// Wall time spent broadcasting the global model.
+    pub broadcast_s: f64,
+    /// Wall time spent in local training (the client fan-out).
+    pub train_s: f64,
+    /// Wall time spent routing updates through the simulated transport.
+    pub route_s: f64,
+    /// Wall time spent in the aggregation hook.
+    pub aggregate_s: f64,
+    /// Wall time spent evaluating the global model.
+    pub eval_s: f64,
+    /// CPU time inside `Network::forward` across all threads.
+    pub nn_forward_s: f64,
+    /// CPU time inside `Network::backward` across all threads.
+    pub nn_backward_s: f64,
+    /// CPU time inside `Sgd::step` across all threads.
+    pub nn_step_s: f64,
+    /// Total kernel flops counted over the run (training + evaluation).
+    pub kernel_flops: u64,
+    /// Total kernel output elements counted over the run.
+    pub kernel_elements: u64,
 }
 
 /// Full metrics of one strategy run.
@@ -39,15 +130,28 @@ pub struct RoundRecord {
 ///     test_loss: 1.0,
 ///     participants: 4,
 ///     comm_bytes: 1024.0,
+///     phases: Default::default(),
 /// });
 /// assert_eq!(m.best_accuracy(), 0.5);
 /// assert!(m.cycles_to_reach(0.4).is_some());
 /// assert!(m.cycles_to_reach(0.9).is_none());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunMetrics {
     strategy: String,
     records: Vec<RoundRecord>,
+    /// Host-side execution profile (absent in files written before it
+    /// existed).
+    #[serde(default)]
+    profile: RunProfile,
+}
+
+impl PartialEq for RunMetrics {
+    /// Compares the simulated outcome (strategy name and records); the
+    /// host-side [`RunProfile`] is wall-clock noise and is excluded.
+    fn eq(&self, other: &Self) -> bool {
+        self.strategy == other.strategy && self.records == other.records
+    }
 }
 
 impl RunMetrics {
@@ -56,12 +160,23 @@ impl RunMetrics {
         RunMetrics {
             strategy: strategy.into(),
             records: Vec::new(),
+            profile: RunProfile::default(),
         }
     }
 
     /// Strategy name.
     pub fn strategy(&self) -> &str {
         &self.strategy
+    }
+
+    /// The host-side execution profile recorded by the round driver.
+    pub fn profile(&self) -> &RunProfile {
+        &self.profile
+    }
+
+    /// Installs the host-side execution profile.
+    pub fn set_profile(&mut self, profile: RunProfile) {
+        self.profile = profile;
     }
 
     /// Appends one cycle record.
@@ -153,20 +268,28 @@ impl RunMetrics {
         self.records.iter().map(|r| r.comm_bytes).sum()
     }
 
-    /// Renders the run as CSV
-    /// (`cycle,sim_time_s,accuracy,loss,participants,comm_bytes`).
+    /// Renders the run as CSV, one row per cycle with the per-phase
+    /// breakdown appended
+    /// (`cycle,sim_time_s,accuracy,loss,participants,comm_bytes,train_s,comm_s,wire_bytes,retries,missed`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("cycle,sim_time_s,accuracy,loss,participants,comm_bytes\n");
+        let mut out = String::from(
+            "cycle,sim_time_s,accuracy,loss,participants,comm_bytes,train_s,comm_s,wire_bytes,retries,missed\n",
+        );
         for r in &self.records {
             let _ = writeln!(
                 out,
-                "{},{:.3},{:.4},{:.4},{},{:.0}",
+                "{},{:.3},{:.4},{:.4},{},{:.0},{:.3},{:.3},{},{},{}",
                 r.cycle,
                 r.sim_time.as_secs_f64(),
                 r.test_accuracy,
                 r.test_loss,
                 r.participants,
-                r.comm_bytes
+                r.comm_bytes,
+                r.phases.train_s,
+                r.phases.comm_s,
+                r.phases.wire_bytes,
+                r.phases.retries,
+                r.phases.missed
             );
         }
         out
@@ -185,6 +308,12 @@ mod tests {
             test_loss: 1.0 - acc,
             participants: 2,
             comm_bytes: 100.0,
+            phases: PhaseBreakdown {
+                train_s: secs * 0.8,
+                comm_s: secs * 0.2,
+                aggregated_updates: 2,
+                ..PhaseBreakdown::default()
+            },
         }
     }
 
@@ -240,7 +369,54 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 5);
         assert!(lines[0].starts_with("cycle,"));
-        assert!(lines[0].ends_with("comm_bytes"));
+        assert!(lines[0].ends_with("train_s,comm_s,wire_bytes,retries,missed"));
         assert!(lines[1].starts_with("0,10.000,0.3000"));
+        assert!(lines[1].ends_with(",8.000,2.000,0,0,0"));
+    }
+
+    #[test]
+    fn observability_counters_do_not_break_equality() {
+        // The kernel counters are process-global and interleave with
+        // concurrent runs, and the wire counters differ between routed
+        // and direct runs with identical learning outcomes — neither may
+        // participate in equality.
+        let a = PhaseBreakdown {
+            train_s: 1.0,
+            train_flops: 10,
+            ..PhaseBreakdown::default()
+        };
+        let b = PhaseBreakdown {
+            train_s: 1.0,
+            train_flops: 99,
+            eval_flops: 7,
+            wire_bytes: 4096,
+            retries: 3,
+            ..PhaseBreakdown::default()
+        };
+        assert_eq!(a, b);
+        let c = PhaseBreakdown { train_s: 2.0, ..a };
+        assert_ne!(a, c);
+        let d = PhaseBreakdown { missed: 1, ..a };
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn run_profile_is_excluded_from_equality_but_round_trips() {
+        let mut a = sample_run();
+        let b = sample_run();
+        a.set_profile(RunProfile {
+            train_s: 123.0,
+            kernel_flops: 42,
+            ..RunProfile::default()
+        });
+        assert_eq!(a, b, "host profile is wall-clock noise");
+        let json = serde_json::to_string(&a).unwrap();
+        let back: RunMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.profile().kernel_flops, 42);
+        // Files written before the profile/phases fields existed load.
+        let legacy = r#"{"strategy":"old","records":[{"cycle":0,"sim_time":1.5,
+            "test_accuracy":0.5,"test_loss":1.0,"participants":2,"comm_bytes":8.0}]}"#;
+        let old: RunMetrics = serde_json::from_str(legacy).unwrap();
+        assert_eq!(old.records()[0].phases, PhaseBreakdown::default());
     }
 }

@@ -1,7 +1,7 @@
 //! Random partial-model training — the paper's "Random" baseline
 //! (federated dropout, Caldas et al. [12]).
 
-use crate::{aggregate, FlEnv, FlError, MaskedUpdate, Result, RoundRecord, RunMetrics, Strategy};
+use crate::{FlEnv, FlError, Result, RoundPolicy, RoutedCycle};
 use helios_nn::{MaskableUnits, ModelMask};
 use helios_tensor::TensorRng;
 
@@ -44,13 +44,19 @@ pub fn random_mask(units: &MaskableUnits, keep: f64, rng: &mut TensorRng) -> Mod
 #[derive(Debug, Clone)]
 pub struct RandomPartial {
     keep_ratios: Vec<Option<f64>>,
+    /// Mask-selection stream, reseeded by every `begin_run` so repeated
+    /// runs of one value draw identical mask sequences.
+    rng: Option<TensorRng>,
 }
 
 impl RandomPartial {
     /// Creates the strategy; `keep_ratios[i]` is client `i`'s sub-model
     /// volume (`None` = full model).
     pub fn new(keep_ratios: Vec<Option<f64>>) -> Self {
-        RandomPartial { keep_ratios }
+        RandomPartial {
+            keep_ratios,
+            rng: None,
+        }
     }
 
     fn validate(&self, env: &FlEnv) -> Result<()> {
@@ -76,71 +82,46 @@ impl RandomPartial {
     }
 }
 
-impl Strategy for RandomPartial {
+impl RoundPolicy for RandomPartial {
     fn name(&self) -> &str {
         "random_partial"
     }
 
-    fn run(&mut self, env: &mut FlEnv, cycles: usize) -> Result<RunMetrics> {
+    fn begin_run(&mut self, env: &mut FlEnv) -> Result<()> {
         self.validate(env)?;
-        let mut metrics = RunMetrics::new(self.name());
-        let mut rng = TensorRng::seed_from(env.config().seed ^ 0x52414e44); // "RAND"
-        for cycle in 0..cycles {
-            env.broadcast_global(cycle)?;
-            // Serial prologue: mask drawing consumes the strategy RNG,
-            // so it must stay in client order for reproducibility. The
-            // training itself is independent per client and fans out.
-            let mut compute_times = Vec::with_capacity(env.num_clients());
-            for i in 0..env.num_clients() {
-                let keep = self.keep_ratios[i];
-                let client = env.client_mut(i)?;
-                match keep {
-                    Some(r) => {
-                        let units = client.network_mut().maskable_units();
-                        let mask = random_mask(&units, r, &mut rng);
-                        client.set_masks(Some(mask))?;
-                    }
-                    None => client.set_masks(None)?,
-                }
-                compute_times.push(client.cycle_time());
-            }
-            let updates = env.train_all()?;
-            // Exchange rides the simulated transport (passthrough when
-            // networking is disabled); masked uploads use the compact
-            // wire layout, so stragglers genuinely send fewer bytes.
-            let comm_bytes = crate::cycle_comm_bytes(&updates);
-            let routed = env.route_updates(cycle, updates, &compute_times)?;
-            let mut global = env.global().to_vec();
-            let masked: Vec<MaskedUpdate<'_>> = routed
-                .updates
-                .iter()
-                .map(|u| MaskedUpdate {
-                    params: &u.params,
-                    param_mask: u.param_mask.as_deref(),
-                    weight: u.num_samples as f64,
-                })
-                .collect();
-            aggregate(&mut global, &masked);
-            env.set_global(global)?;
-            env.advance_clock(routed.cycle_time);
-            let (test_loss, test_accuracy) = env.evaluate_global()?;
-            metrics.push(RoundRecord {
-                cycle,
-                sim_time: env.clock().now(),
-                test_accuracy,
-                test_loss,
-                participants: routed.updates.len(),
-                comm_bytes,
+        self.rng = Some(TensorRng::seed_from(env.config().seed ^ 0x52414e44)); // "RAND"
+        Ok(())
+    }
+
+    /// Mask drawing consumes the strategy RNG, so the driver's serial
+    /// client-order configuration pass is what keeps runs reproducible.
+    fn configure_client(&mut self, env: &mut FlEnv, _cycle: usize, client: usize) -> Result<()> {
+        let keep = self.keep_ratios[client];
+        let Some(rng) = self.rng.as_mut() else {
+            return Err(FlError::InvalidStrategyConfig {
+                what: "RandomPartial mask RNG missing (begin_run not called)".into(),
             });
+        };
+        let c = env.client_mut(client)?;
+        match keep {
+            Some(r) => {
+                let units = c.network_mut().maskable_units();
+                let mask = random_mask(&units, r, rng);
+                c.set_masks(Some(mask))
+            }
+            None => c.set_masks(None),
         }
-        Ok(metrics)
+    }
+
+    fn aggregate(&mut self, env: &mut FlEnv, _cycle: usize, routed: &RoutedCycle) -> Result<()> {
+        crate::fedavg_into_global(env, &routed.updates)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FlConfig, SyncFedAvg};
+    use crate::{FlConfig, Strategy, SyncFedAvg};
     use helios_data::{partition, Dataset, SyntheticVision};
     use helios_device::presets;
     use helios_nn::models::ModelKind;

@@ -1,6 +1,6 @@
 //! Synchronized FedAvg — the paper's "Syn. FL" baseline.
 
-use crate::{aggregate, FlEnv, MaskedUpdate, Result, RoundRecord, RunMetrics, Strategy};
+use crate::{fedavg_into_global, FlEnv, Result, RoundPolicy, RoutedCycle};
 
 /// Fully synchronous FedAvg: every cycle, every device (stragglers
 /// included) trains the complete model and the server waits for the
@@ -8,6 +8,11 @@ use crate::{aggregate, FlEnv, MaskedUpdate, Result, RoundRecord, RunMetrics, Str
 ///
 /// Best accuracy per cycle, worst simulated time per cycle — the
 /// "shortest board in barrel" behaviour of the paper's Fig 1.
+///
+/// Expressed as a [`RoundPolicy`]: the [`crate::RoundDriver`] defaults
+/// (select everyone, broadcast to everyone, clear masks, advance by the
+/// routed round span) *are* synchronous FedAvg, so only the aggregation
+/// hook is filled in.
 ///
 /// # Example
 ///
@@ -24,64 +29,20 @@ impl SyncFedAvg {
     }
 }
 
-impl Strategy for SyncFedAvg {
+impl RoundPolicy for SyncFedAvg {
     fn name(&self) -> &str {
         "sync_fedavg"
     }
 
-    fn run(&mut self, env: &mut FlEnv, cycles: usize) -> Result<RunMetrics> {
-        let mut metrics = RunMetrics::new(self.name());
-        for cycle in 0..cycles {
-            env.broadcast_global(cycle)?;
-            // Serial prologue: masks and timing bookkeeping. Local
-            // training itself is independent per client, so it fans out
-            // across worker threads; the updates come back in client
-            // order and aggregation below stays serial, keeping runs
-            // bitwise identical to single-threaded execution.
-            let mut compute_times = Vec::with_capacity(env.num_clients());
-            for i in 0..env.num_clients() {
-                let client = env.client_mut(i)?;
-                client.set_masks(None)?;
-                compute_times.push(client.cycle_time());
-            }
-            let updates = env.train_all()?;
-            // The exchange rides the simulated transport (a transparent
-            // passthrough when networking is disabled): the round's span
-            // becomes max(compute + comm) and clients whose transfers
-            // miss the deadline drop out of this cycle's aggregate.
-            let comm_bytes = crate::cycle_comm_bytes(&updates);
-            let routed = env.route_updates(cycle, updates, &compute_times)?;
-            let mut global = env.global().to_vec();
-            let masked: Vec<MaskedUpdate<'_>> = routed
-                .updates
-                .iter()
-                .map(|u| MaskedUpdate {
-                    params: &u.params,
-                    param_mask: u.param_mask.as_deref(),
-                    weight: u.num_samples as f64,
-                })
-                .collect();
-            aggregate(&mut global, &masked);
-            env.set_global(global)?;
-            env.advance_clock(routed.cycle_time);
-            let (test_loss, test_accuracy) = env.evaluate_global()?;
-            metrics.push(RoundRecord {
-                cycle,
-                sim_time: env.clock().now(),
-                test_accuracy,
-                test_loss,
-                participants: routed.updates.len(),
-                comm_bytes,
-            });
-        }
-        Ok(metrics)
+    fn aggregate(&mut self, env: &mut FlEnv, _cycle: usize, routed: &RoutedCycle) -> Result<()> {
+        fedavg_into_global(env, &routed.updates)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::FlConfig;
+    use crate::{FlConfig, Strategy};
     use helios_data::{partition, Dataset, SyntheticVision};
     use helios_device::presets;
     use helios_nn::models::ModelKind;

@@ -4,7 +4,7 @@
 use crate::softtrain::{contributions_from_delta, Contributions, SoftTrainer};
 use crate::{aggregation, identify, target, HeliosError, Result};
 use helios_device::SimTime;
-use helios_fl::{aggregate, FlEnv, MaskedUpdate, RoundRecord, RunMetrics, Strategy};
+use helios_fl::{aggregate, FlEnv, MaskedUpdate, RoundPolicy, RoutedCycle};
 use helios_tensor::TensorRng;
 use std::collections::HashMap;
 
@@ -132,6 +132,9 @@ pub struct HeliosStrategy {
     contributions: HashMap<usize, Contributions>,
     deadline: SimTime,
     initialized: bool,
+    /// The global vector every participant received at this cycle's
+    /// broadcast — the reference point for contribution deltas.
+    received_global: Vec<f32>,
 }
 
 impl HeliosStrategy {
@@ -144,6 +147,7 @@ impl HeliosStrategy {
             contributions: HashMap::new(),
             deadline: SimTime::ZERO,
             initialized: false,
+            received_global: Vec::new(),
         }
     }
 
@@ -164,7 +168,7 @@ impl HeliosStrategy {
     }
 
     /// Runs identification and target determination against `env`
-    /// (idempotent; [`Strategy::run`] calls it automatically).
+    /// (idempotent; [`helios_fl::Strategy::run`] calls it automatically).
     ///
     /// # Errors
     ///
@@ -281,46 +285,73 @@ impl HeliosStrategy {
         }
         Ok(id)
     }
+}
 
-    fn run_cycle(&mut self, env: &mut FlEnv, cycle: usize, metrics: &mut RunMetrics) -> Result<()> {
-        env.broadcast_global(cycle).map_err(HeliosError::from)?;
-        let received_global = env.global().to_vec();
-        // Install this cycle's masks.
-        for i in 0..env.num_clients() {
-            if let Some(trainer) = self.trainers.get_mut(&i) {
-                let mask = trainer.next_mask(self.contributions.get(&i));
-                trainer.observe(&mask);
-                env.client_mut(i)?.set_masks(Some(mask))?;
-            } else {
-                env.client_mut(i)?.set_masks(None)?;
-            }
+/// The Helios pipeline expressed as `helios_fl` round-lifecycle hooks:
+/// the shared [`helios_fl::RoundDriver`] owns the cycle loop (broadcast →
+/// train → route → aggregate → evaluate) while these hooks contribute the
+/// §IV–§VI policy decisions. Cycles are numbered from 0 on every
+/// [`helios_fl::Strategy::run`] call, so the dynamic-volume settling
+/// window applies per call.
+impl RoundPolicy for HeliosStrategy {
+    fn name(&self) -> &str {
+        match self.config.aggregation {
+            AggregationMode::FullWeighted => "helios",
+            AggregationMode::FullPlain => "helios_st_only",
+            AggregationMode::MaskedWeighted => "helios_masked",
         }
-        // Local training; the synchronous cycle lasts as long as the
-        // slowest participant (soft-training keeps stragglers near the
-        // capable pace). Clients train in parallel — the updates come
-        // back in client order and everything downstream (contribution
-        // refresh, aggregation) stays serial, so cycles are bitwise
-        // identical to single-threaded runs.
-        let mut compute_times = Vec::with_capacity(env.num_clients());
-        for i in 0..env.num_clients() {
-            compute_times.push(env.client(i)?.cycle_time());
+    }
+
+    fn begin_run(&mut self, env: &mut FlEnv) -> helios_fl::Result<()> {
+        self.initialize(env).map_err(to_fl_error)
+    }
+
+    fn broadcast(
+        &mut self,
+        env: &mut FlEnv,
+        cycle: usize,
+        _participants: &[usize],
+    ) -> helios_fl::Result<()> {
+        env.broadcast_global(cycle)?;
+        // The reference point for this cycle's contribution deltas.
+        self.received_global = env.global().to_vec();
+        Ok(())
+    }
+
+    /// Installs this cycle's soft-training mask: stragglers get their
+    /// contribution-ranked sub-model, capable devices train in full. The
+    /// driver's serial participant-order pass keeps the trainers' RNG
+    /// streams reproducible.
+    fn configure_client(
+        &mut self,
+        env: &mut FlEnv,
+        _cycle: usize,
+        client: usize,
+    ) -> helios_fl::Result<()> {
+        if let Some(trainer) = self.trainers.get_mut(&client) {
+            let mask = trainer.next_mask(self.contributions.get(&client));
+            trainer.observe(&mask);
+            env.client_mut(client)?.set_masks(Some(mask))?;
+        } else {
+            env.client_mut(client)?.set_masks(None)?;
         }
-        let updates = env.train_all()?;
-        // The exchange rides the simulated transport (transparent
-        // passthrough when networking is disabled): soft-trained
-        // stragglers upload the compact masked wire layout, the round
-        // spans max(compute + comm), and deadline-missing participants
-        // drop out of this cycle's aggregate.
-        let comm_bytes = helios_fl::cycle_comm_bytes(&updates);
-        let routed = env.route_updates(cycle, updates, &compute_times)?;
-        let updates = routed.updates;
+        Ok(())
+    }
+
+    fn aggregate(
+        &mut self,
+        env: &mut FlEnv,
+        _cycle: usize,
+        routed: &RoutedCycle,
+    ) -> helios_fl::Result<()> {
+        let updates = &routed.updates;
         // Refresh contribution values U (Eq 1) for the next selection.
-        for u in &updates {
+        for u in updates {
             if self.trainers.contains_key(&u.client) {
                 let client = env.client_mut(u.client)?;
                 let layout = client.network_mut().layout();
                 let units = client.network_mut().maskable_units();
-                let c = contributions_from_delta(&layout, &units, &received_global, &u.params);
+                let c = contributions_from_delta(&layout, &units, &self.received_global, &u.params);
                 self.contributions.insert(u.client, c);
             }
         }
@@ -349,53 +380,27 @@ impl HeliosStrategy {
             })
             .collect();
         aggregate(&mut global, &masked);
-        env.set_global(global)?;
-        env.advance_clock(routed.cycle_time);
-        // Dynamic volume adjustment toward the capable pace, during the
-        // settling window only. The observed pace is the combined
-        // masked-compute + link time — what the server actually waits on.
-        if cycle < self.config.dynamic_volume_cycles {
-            let deadline = self.deadline;
-            for i in 0..env.num_clients() {
-                if let Some(trainer) = self.trainers.get_mut(&i) {
-                    let masked_time = env.combined_cycle_time(i)?;
-                    let next = target::adjust_keep_ratio(trainer.keep(), masked_time, deadline);
-                    if (next - trainer.keep()).abs() > 1e-9 {
-                        trainer.set_keep(next)?;
-                    }
+        env.set_global(global)
+    }
+
+    /// Dynamic volume adjustment toward the capable pace, during the
+    /// settling window only. The observed pace is the combined
+    /// masked-compute + link time — what the server actually waits on.
+    fn post_cycle(&mut self, env: &mut FlEnv, cycle: usize) -> helios_fl::Result<()> {
+        if cycle >= self.config.dynamic_volume_cycles {
+            return Ok(());
+        }
+        let deadline = self.deadline;
+        for i in 0..env.num_clients() {
+            if let Some(trainer) = self.trainers.get_mut(&i) {
+                let masked_time = env.combined_cycle_time(i)?;
+                let next = target::adjust_keep_ratio(trainer.keep(), masked_time, deadline);
+                if (next - trainer.keep()).abs() > 1e-9 {
+                    trainer.set_keep(next).map_err(to_fl_error)?;
                 }
             }
         }
-        let (test_loss, test_accuracy) = env.evaluate_global().map_err(HeliosError::from)?;
-        metrics.push(RoundRecord {
-            cycle,
-            sim_time: env.clock().now(),
-            test_accuracy,
-            test_loss,
-            participants: updates.len(),
-            comm_bytes,
-        });
         Ok(())
-    }
-}
-
-impl Strategy for HeliosStrategy {
-    fn name(&self) -> &str {
-        match self.config.aggregation {
-            AggregationMode::FullWeighted => "helios",
-            AggregationMode::FullPlain => "helios_st_only",
-            AggregationMode::MaskedWeighted => "helios_masked",
-        }
-    }
-
-    fn run(&mut self, env: &mut FlEnv, cycles: usize) -> helios_fl::Result<RunMetrics> {
-        let mut metrics = RunMetrics::new(self.name());
-        self.initialize(env).map_err(to_fl_error)?;
-        for cycle in 0..cycles {
-            self.run_cycle(env, cycle, &mut metrics)
-                .map_err(to_fl_error)?;
-        }
-        Ok(metrics)
     }
 }
 
@@ -415,7 +420,7 @@ mod tests {
     use super::*;
     use helios_data::{partition, Dataset, SyntheticVision};
     use helios_device::presets;
-    use helios_fl::{FlConfig, SyncFedAvg};
+    use helios_fl::{FlConfig, Strategy, SyncFedAvg};
     use helios_nn::models::ModelKind;
 
     fn env(capable: usize, stragglers: usize, seed: u64) -> FlEnv {
@@ -488,9 +493,9 @@ mod tests {
     #[test]
     fn st_only_uses_plain_weights_and_different_name() {
         let h = HeliosStrategy::new(HeliosConfig::soft_training_only());
-        assert_eq!(h.name(), "helios_st_only");
+        assert_eq!(Strategy::name(&h), "helios_st_only");
         let h = HeliosStrategy::new(HeliosConfig::default());
-        assert_eq!(h.name(), "helios");
+        assert_eq!(Strategy::name(&h), "helios");
     }
 
     #[test]

@@ -47,6 +47,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The PR 3 typed-error migration removed every panicking shortcut from
+// non-test code; this keeps them out. Tests may still unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod codec;
 mod error;

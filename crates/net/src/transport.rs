@@ -43,6 +43,30 @@ pub struct TransportStats {
     pub delivered_bytes: u64,
 }
 
+impl TransportStats {
+    /// The traffic accumulated since an `earlier` snapshot — the
+    /// counters are monotone, so callers copy [`SimTransport::stats`]
+    /// before a round and diff afterwards to attribute wire activity to
+    /// one cycle. Saturating, so swapped snapshots yield zeros instead
+    /// of wrapping.
+    pub fn since(&self, earlier: &TransportStats) -> TransportStats {
+        TransportStats {
+            messages: self.messages.saturating_sub(earlier.messages),
+            attempts: self.attempts.saturating_sub(earlier.attempts),
+            retries: self.retries.saturating_sub(earlier.retries),
+            drops: self.drops.saturating_sub(earlier.drops),
+            corruptions_detected: self
+                .corruptions_detected
+                .saturating_sub(earlier.corruptions_detected),
+            extra_delays: self.extra_delays.saturating_sub(earlier.extra_delays),
+            failures: self.failures.saturating_sub(earlier.failures),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            bytes_on_wire: self.bytes_on_wire.saturating_sub(earlier.bytes_on_wire),
+            delivered_bytes: self.delivered_bytes.saturating_sub(earlier.delivered_bytes),
+        }
+    }
+}
+
 /// Per-device traffic counters, used by the benchmarks to compare a
 /// soft-trained straggler's wire volume against a full-model client's.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]

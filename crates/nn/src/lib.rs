@@ -54,6 +54,7 @@ mod loss;
 pub mod models;
 mod network;
 mod optim;
+mod profiler;
 
 pub use cost::{LayerCost, NetworkCost};
 pub use error::NnError;
@@ -62,6 +63,7 @@ pub use layers::{AvgPool2d, Conv2d, Dense, Flatten, MaxPool2d, Relu, Residual, U
 pub use loss::CrossEntropyLoss;
 pub use network::{MaskableUnits, ModelMask, Network, NeuronId, NeuronLayout, ParamGroup};
 pub use optim::Sgd;
+pub use profiler::{nn_timings, NnTimings};
 
 #[doc(no_inline)]
 pub use helios_tensor::{ParallelismConfig, ParallelismGuard};

@@ -324,11 +324,13 @@ impl Network {
     ///
     /// Propagates tensor shape errors.
     pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
-            h = layer.forward(&h)?;
-        }
-        Ok(h)
+        crate::profiler::timed(crate::profiler::Hotpath::Forward, || {
+            let mut h = x.clone();
+            for layer in &mut self.layers {
+                h = layer.forward(&h)?;
+            }
+            Ok(h)
+        })
     }
 
     /// Backward pass from the loss gradient at the logits.
@@ -338,11 +340,13 @@ impl Network {
     /// Returns [`NnError::BackwardBeforeForward`] when called without a
     /// preceding [`Network::forward`].
     pub fn backward(&mut self, grad_logits: &Tensor) -> Result<()> {
-        let mut g = grad_logits.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g)?;
-        }
-        Ok(())
+        crate::profiler::timed(crate::profiler::Hotpath::Backward, || {
+            let mut g = grad_logits.clone();
+            for layer in self.layers.iter_mut().rev() {
+                g = layer.backward(&g)?;
+            }
+            Ok(())
+        })
     }
 
     /// Resets all accumulated gradients.

@@ -33,6 +33,7 @@
 mod conv;
 mod error;
 mod init;
+mod instrument;
 mod ops;
 mod parallel;
 mod shape;
@@ -44,6 +45,7 @@ pub use conv::{
 };
 pub use error::TensorError;
 pub use init::{he_normal, uniform_init, xavier_uniform, TensorRng};
+pub use instrument::{kernel_counters, KernelCounters};
 pub use parallel::{
     current_threads, for_each_block, for_each_block2, map_indexed, map_items_mut,
     ParallelismConfig, ParallelismGuard,

@@ -43,6 +43,9 @@ impl Tensor {
         }
         let a = self.as_slice();
         let b = other.as_slice();
+        // Shape-derived work accounting (once per call, independent of the
+        // parallel split): one multiply-add per (i, k, j) triple.
+        crate::instrument::record_kernel((2 * m * k * n) as u64, (m * n) as u64);
         let mut out = vec![0.0f32; m * n];
         for_each_block(&mut out, n, k * n, |first_row, block| {
             for (bi, o_row) in block.chunks_mut(n).enumerate() {
