@@ -7,7 +7,9 @@
 # upload frame is smaller than the full-model frame), and the
 # round-engine phase bench (emits results/BENCH_engine.json and
 # self-checks that Helios shrinks the straggler train-phase share
-# versus synchronous FedAvg).
+# versus synchronous FedAvg), and the packed-execution bench (emits
+# results/BENCH_masked.json and self-checks that masked training
+# flops scale with the live parameter fraction).
 #
 # Usage: ./ci.sh [--skip-bench]
 set -euo pipefail
@@ -66,6 +68,13 @@ if [ "$SKIP_BENCH" -eq 0 ]; then
     # of the round versus synchronous FedAvg.
     cargo run --release -p helios-bench --bin bench_engine
     [ -s results/BENCH_engine.json ] || { echo "BENCH_engine.json missing or empty" >&2; exit 1; }
+
+    step "packed sub-model execution bench (results/BENCH_masked.json)"
+    # bench_masked re-parses its own JSON and exits nonzero unless packed
+    # train flops shrink monotonically with the keep ratio and the
+    # keep=0.25 sub-model costs at most 40% of the full model.
+    cargo run --release -p helios-bench --bin bench_masked
+    [ -s results/BENCH_masked.json ] || { echo "BENCH_masked.json missing or empty" >&2; exit 1; }
 else
     step "skipping microbench (--skip-bench)"
 fi

@@ -21,7 +21,10 @@
 //!    pruned.
 //! 4. **Optimizations** — the skip-cycle regulator (§VI.A) that forces
 //!    long-skipped neurons back into training before their selection
-//!    probability decays toward zero, heterogeneity-weighted aggregation
+//!    probability decays toward zero (its counters are settled once the
+//!    round *outcome* is known — a delivered update resets its active
+//!    units, a missed cycle increments every counter, so lossy links
+//!    cannot starve the regulator), heterogeneity-weighted aggregation
 //!    `α_n = r_n / Σ r_n` (Eq 10, [`aggregation`]), and the dynamic-join
 //!    scalability manager (§VI.C).
 //!

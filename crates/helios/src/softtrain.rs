@@ -68,13 +68,19 @@ pub fn select_layer_mask(
             chosen += 1;
         }
     }
-    // 2. Top contributors among the not-yet-chosen.
+    // 2. Top contributors among the not-yet-chosen. Only units with a
+    // strictly positive contribution compete for TopK slots: with an
+    // all-equal table (all-zero at cold start, or all-NaN after
+    // divergence — `NaN > 0.0` is false) the stable descending sort
+    // would otherwise hand the slots to units `0..top_count` every
+    // cycle, permanently starving the random rotation of them. Units
+    // without evidence of contribution fall through to the rotation
+    // fill instead, which covers every unit over time.
     if chosen < k && top_count > 0 {
-        let mut order: Vec<usize> = (0..n).filter(|&i| !active[i]).collect();
-        // NaN-safe descending sort (diverged training must not panic the
-        // scheduler): NaN contributions rank below every finite value.
-        let key = |x: f32| if x.is_nan() { f32::NEG_INFINITY } else { x };
-        order.sort_by(|&a, &b| key(contributions[b]).total_cmp(&key(contributions[a])));
+        let mut order: Vec<usize> = (0..n)
+            .filter(|&i| !active[i] && contributions[i] > 0.0)
+            .collect();
+        order.sort_by(|&a, &b| contributions[b].total_cmp(&contributions[a]));
         for &i in order.iter().take(top_count.min(k - chosen)) {
             active[i] = true;
             chosen += 1;
@@ -260,6 +266,19 @@ impl SoftTrainer {
         }
     }
 
+    /// Records a cycle whose scheduled sub-model never arrived: the
+    /// update was dropped in transit or missed the round deadline, so
+    /// *no* unit trained. Every counter increments — the units that
+    /// were scheduled wasted their cycle, and the idle ones skipped one
+    /// more — keeping the §VI.A regulator honest under lossy links.
+    pub fn observe_missed(&mut self) {
+        for counts in &mut self.skip_cycles {
+            for c in counts.iter_mut() {
+                *c += 1;
+            }
+        }
+    }
+
     /// Current skip counters (read-only, for inspection and tests).
     pub fn skip_cycles(&self) -> &[Vec<u32>] {
         &self.skip_cycles
@@ -426,6 +445,68 @@ mod tests {
         let c: Contributions = vec![vec![f32::NAN; 10], vec![f32::NAN; 20]];
         let m = t.next_mask(Some(&c));
         assert_eq!(m.active_counts(&units()), vec![4, 8]);
+    }
+
+    /// Regression for the TopK tie bias: with an all-equal contribution
+    /// table the old stable descending sort handed the `top_count` slots
+    /// to units `0..top_count` on every single cycle, so those units
+    /// were permanently pinned active and the slots never rotated. With
+    /// non-positive contributions excluded from TopK, an all-zero table
+    /// must behave like pure random rotation — no unit selected in every
+    /// cycle, exact keep counts preserved.
+    #[test]
+    fn all_zero_contributions_do_not_pin_topk_slots() {
+        let mut rng = TensorRng::seed_from(7);
+        let zeros = vec![0.0f32; 16];
+        let mut always_active = [true; 16];
+        for _ in 0..40 {
+            let mask = select_layer_mask(&zeros, 4, 2, &[], &mut rng);
+            assert_eq!(mask.iter().filter(|&&b| b).count(), 4);
+            for (seen, &b) in always_active.iter_mut().zip(&mask) {
+                *seen &= b;
+            }
+        }
+        assert!(
+            always_active.iter().all(|&pinned| !pinned),
+            "an all-equal table must not pin any unit into every cycle's mask"
+        );
+    }
+
+    /// Same pinning regression for an all-NaN table (diverged client):
+    /// NaN fails `> 0.0`, so NaNs can neither win TopK slots nor bias
+    /// which units the rotation covers.
+    #[test]
+    fn all_nan_contributions_do_not_pin_topk_slots() {
+        let mut rng = TensorRng::seed_from(8);
+        let nans = vec![f32::NAN; 16];
+        let mut always_active = [true; 16];
+        for _ in 0..40 {
+            let mask = select_layer_mask(&nans, 4, 2, &[], &mut rng);
+            assert_eq!(mask.iter().filter(|&&b| b).count(), 4);
+            for (seen, &b) in always_active.iter_mut().zip(&mask) {
+                *seen &= b;
+            }
+        }
+        assert!(
+            always_active.iter().all(|&pinned| !pinned),
+            "NaN contributions must not pin any unit into every cycle's mask"
+        );
+    }
+
+    #[test]
+    fn observe_missed_increments_every_counter() {
+        let mut t = trainer(0.5, 0.0, true);
+        let m = t.next_mask(None);
+        t.observe(&m);
+        // A missed cycle wastes the scheduled units too: every counter
+        // moves, including the ones `observe` just reset.
+        t.observe_missed();
+        t.observe_missed();
+        for counts in t.skip_cycles() {
+            for (unit, &c) in counts.iter().enumerate() {
+                assert!(c >= 2, "unit {unit} skipped {c} < 2 cycles after 2 misses");
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::softtrain::{contributions_from_delta, Contributions, SoftTrainer};
 use crate::{aggregation, identify, target, HeliosError, Result};
 use helios_device::SimTime;
 use helios_fl::{aggregate, FlEnv, MaskedUpdate, RoundPolicy, RoutedCycle};
+use helios_nn::ModelMask;
 use helios_tensor::TensorRng;
 use std::collections::HashMap;
 
@@ -135,6 +136,11 @@ pub struct HeliosStrategy {
     /// The global vector every participant received at this cycle's
     /// broadcast — the reference point for contribution deltas.
     received_global: Vec<f32>,
+    /// Masks issued to stragglers this cycle, settled against the
+    /// trainers' skip counters only once the round outcome is known
+    /// (delivered vs missed). Observing optimistically at issue time
+    /// would reset counters for units that never actually contributed.
+    issued_masks: HashMap<usize, ModelMask>,
 }
 
 impl HeliosStrategy {
@@ -148,6 +154,7 @@ impl HeliosStrategy {
             deadline: SimTime::ZERO,
             initialized: false,
             received_global: Vec::new(),
+            issued_masks: HashMap::new(),
         }
     }
 
@@ -160,6 +167,12 @@ impl HeliosStrategy {
     /// The current expected model volume of a straggler, if it is one.
     pub fn keep_ratio(&self, client: usize) -> Option<f64> {
         self.trainers.get(&client).map(|t| t.keep())
+    }
+
+    /// Read-only access to a straggler's soft-training scheduler state
+    /// (per-unit skip counters, keep ratio), for tests and diagnostics.
+    pub fn trainer(&self, client: usize) -> Option<&SoftTrainer> {
+        self.trainers.get(&client)
     }
 
     /// The capable-pace deadline the stragglers are fitted to.
@@ -330,7 +343,9 @@ impl RoundPolicy for HeliosStrategy {
     ) -> helios_fl::Result<()> {
         if let Some(trainer) = self.trainers.get_mut(&client) {
             let mask = trainer.next_mask(self.contributions.get(&client));
-            trainer.observe(&mask);
+            // Stash rather than observe: the skip counters settle in
+            // `aggregate`, once this cycle's delivery outcome is known.
+            self.issued_masks.insert(client, mask.clone());
             env.client_mut(client)?.set_masks(Some(mask))?;
         } else {
             env.client_mut(client)?.set_masks(None)?;
@@ -345,6 +360,26 @@ impl RoundPolicy for HeliosStrategy {
         routed: &RoutedCycle,
     ) -> helios_fl::Result<()> {
         let updates = &routed.updates;
+        // Settle this cycle's mask issuance now that the round outcome
+        // is known (§VI.A): a delivered update resets its active units'
+        // skip counters, while a missed cycle (update dropped or timed
+        // out) increments *every* counter — the scheduled units were
+        // wasted and the idle ones skipped another cycle regardless.
+        for u in updates {
+            if let Some(mask) = self.issued_masks.remove(&u.client) {
+                if let Some(trainer) = self.trainers.get_mut(&u.client) {
+                    trainer.observe(&mask);
+                }
+            }
+        }
+        for client in &routed.missed {
+            if self.issued_masks.remove(client).is_some() {
+                if let Some(trainer) = self.trainers.get_mut(client) {
+                    trainer.observe_missed();
+                }
+            }
+        }
+        self.issued_masks.clear();
         // Refresh contribution values U (Eq 1) for the next selection.
         for u in updates {
             if self.trainers.contains_key(&u.client) {

@@ -130,6 +130,68 @@ impl Layer {
         }
     }
 
+    /// Threads the upstream guaranteed-zero mask through this layer,
+    /// installing input masks on parameterized layers (which enables
+    /// their packed execution) and returning the zero-guarantee of this
+    /// layer's own output.
+    ///
+    /// `prev` marks positions of this layer's *input* that are exactly
+    /// zero (`false` = guaranteed zero), derived from the producing
+    /// layer's unit mask; `None` means no guarantee. The return value
+    /// plays the same role for this layer's output:
+    ///
+    /// - [`Dense`]/[`Conv2d`] consume `prev` as their input mask and
+    ///   emit their own unit mask (a masked unit's output is exactly
+    ///   zero; unmasked layers emit `None` because bias terms make
+    ///   every output potentially nonzero). A dense layer following a
+    ///   flatten sees `C·H·W` features for a `C`-channel mask, so each
+    ///   channel bit expands over its contiguous `H·W` block (the
+    ///   flatten of a row-major `[N, C, H, W]` tensor is
+    ///   channel-major).
+    /// - ReLU, pooling, and flatten propagate `prev` unchanged: they
+    ///   map exact-zero planes to exact-zero planes.
+    /// - Residual blocks thread `prev` through the body and into the
+    ///   projection shortcut, but emit `None`: the shortcut is never
+    ///   masked, so no output channel is guaranteed zero.
+    pub(crate) fn thread_input_mask(&mut self, prev: Option<&[bool]>) -> Option<Vec<bool>> {
+        match self {
+            Layer::Dense(l) => {
+                let expanded = prev.and_then(|p| {
+                    if p.is_empty() || l.in_features() % p.len() != 0 {
+                        return None;
+                    }
+                    let f = l.in_features() / p.len();
+                    Some(
+                        p.iter()
+                            .flat_map(|&b| std::iter::repeat_n(b, f))
+                            .collect::<Vec<bool>>(),
+                    )
+                });
+                l.set_input_mask(expanded);
+                l.unit_mask().map(<[bool]>::to_vec)
+            }
+            Layer::Conv2d(l) => {
+                let channels = prev.filter(|p| p.len() == l.spec().in_channels);
+                l.set_input_mask(channels.map(<[bool]>::to_vec));
+                l.unit_mask().map(<[bool]>::to_vec)
+            }
+            Layer::Relu(_) | Layer::MaxPool2d(_) | Layer::AvgPool2d(_) | Layer::Flatten(_) => {
+                prev.map(<[bool]>::to_vec)
+            }
+            Layer::Residual(l) => {
+                let mut cur = prev.map(<[bool]>::to_vec);
+                for inner in l.body_mut() {
+                    cur = inner.thread_input_mask(cur.as_deref());
+                }
+                if let Some(s) = l.shortcut_mut() {
+                    let channels = prev.filter(|p| p.len() == s.spec().in_channels);
+                    s.set_input_mask(channels.map(<[bool]>::to_vec));
+                }
+                None
+            }
+        }
+    }
+
     /// Visits every maskable parameterized layer in canonical order.
     ///
     /// Layers constructed with `non_maskable()` (classifier heads,

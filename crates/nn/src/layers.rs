@@ -10,8 +10,10 @@
 
 use crate::{NnError, Result};
 use helios_tensor::{
-    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, he_normal, max_pool2d,
-    max_pool2d_backward, xavier_uniform, ConvSpec, PoolIndices, PoolSpec, Tensor, TensorRng,
+    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, conv2d_backward_packed,
+    gather_channels, gather_elems, gather_rows_cols, he_normal, max_pool2d, max_pool2d_backward,
+    scatter_add_elems, scatter_add_rows_cols, scatter_channels, scatter_cols, xavier_uniform,
+    ConvSpec, PoolIndices, PoolSpec, Tensor, TensorRng,
 };
 
 /// Common interface of layers whose output units can be masked.
@@ -47,6 +49,38 @@ fn validate_mask(units: usize, mask: &Option<Vec<bool>>) -> Result<()> {
     Ok(())
 }
 
+/// Active indices of `mask`, or `None` when every unit is active — an
+/// all-true mask is equivalent to no mask, so packing it would only
+/// copy data without saving work.
+fn active_indices(mask: Option<&[bool]>) -> Option<Vec<usize>> {
+    let m = mask?;
+    if m.iter().all(|&b| b) {
+        return None;
+    }
+    Some(
+        m.iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect(),
+    )
+}
+
+/// A packed-execution dispatch: `(active output units, active input
+/// positions)`, each `None` when that axis is unmasked and stays
+/// full-width. The plan itself is `None` when the legacy zeroing path
+/// must run instead.
+type PackedPlan = Option<(Option<Vec<usize>>, Option<Vec<usize>>)>;
+
+/// Whether the packed fast path applies to this `(output, input)` index
+/// pair: at least one axis is genuinely masked, and neither axis is
+/// masked down to nothing. Fully-masked layers keep the legacy zeroing
+/// path, which is trivially correct for degenerate shapes.
+fn packable(out_idx: &Option<Vec<usize>>, in_idx: &Option<Vec<usize>>) -> bool {
+    (out_idx.is_some() || in_idx.is_some())
+        && out_idx.as_ref().is_none_or(|v| !v.is_empty())
+        && in_idx.as_ref().is_none_or(|v| !v.is_empty())
+}
+
 // ---------------------------------------------------------------------------
 // Dense
 // ---------------------------------------------------------------------------
@@ -55,6 +89,16 @@ fn validate_mask(units: usize, mask: &Option<Vec<bool>>) -> Result<()> {
 ///
 /// Output unit `j` (a *neuron* in the paper's vocabulary) owns weight
 /// column `j` and bias element `j`.
+///
+/// Alongside its own unit `mask`, the layer carries an optional
+/// `input_mask`: a per-input-feature guarantee, installed by
+/// [`Network::set_masks`](crate::Network::set_masks) from the *upstream*
+/// layer's unit mask, that the marked input positions are exactly zero.
+/// With either mask installed, the layer runs **packed execution**:
+/// active rows/columns are gathered into compact tensors, the GEMMs run
+/// on the packed shapes, and the results are scattered back — bitwise
+/// identical to full-width execution (the matmul kernel already skips
+/// zero operands term-by-term) but proportionally cheaper.
 #[derive(Debug, Clone)]
 pub struct Dense {
     in_features: usize,
@@ -64,6 +108,7 @@ pub struct Dense {
     grad_weight: Tensor,
     grad_bias: Tensor,
     mask: Option<Vec<bool>>,
+    input_mask: Option<Vec<bool>>,
     maskable: bool,
     cached_input: Option<Tensor>,
 }
@@ -79,6 +124,7 @@ impl Dense {
             grad_weight: Tensor::zeros(&[in_features, out_features]),
             grad_bias: Tensor::zeros(&[out_features]),
             mask: None,
+            input_mask: None,
             maskable: true,
             cached_input: None,
         }
@@ -106,24 +152,89 @@ impl Dense {
         self.out_features
     }
 
+    /// Installs the upstream-derived input-feature mask (`true` = the
+    /// feature may be nonzero, `false` = guaranteed exactly zero). An
+    /// input mask is an optimization hint, never a requirement, so a
+    /// length mismatch conservatively clears it.
+    pub(crate) fn set_input_mask(&mut self, mask: Option<Vec<bool>>) {
+        self.input_mask = mask.filter(|m| m.len() == self.in_features);
+    }
+
+    /// The packed-execution index sets, when the fast path applies.
+    fn packed_plan(&self) -> PackedPlan {
+        if !crate::packed_execution_enabled() {
+            return None;
+        }
+        let out_idx = active_indices(self.mask.as_deref());
+        let in_idx = active_indices(self.input_mask.as_deref());
+        packable(&out_idx, &in_idx).then_some((out_idx, in_idx))
+    }
+
     pub(crate) fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
-        let mut y = x.matmul(&self.weight)?.add_row_broadcast(&self.bias)?;
-        if let Some(mask) = &self.mask {
-            let (n, out) = (y.dims()[0], y.dims()[1]);
-            let data = y.as_mut_slice();
-            for i in 0..n {
-                for (j, &keep) in mask.iter().enumerate() {
-                    if !keep {
-                        data[i * out + j] = 0.0;
+        let y = match self.packed_plan() {
+            Some((out_idx, in_idx)) => {
+                self.forward_packed(x, out_idx.as_deref(), in_idx.as_deref())?
+            }
+            None => {
+                let mut y = x.matmul(&self.weight)?.add_row_broadcast(&self.bias)?;
+                if let Some(mask) = &self.mask {
+                    let (n, out) = (y.dims()[0], y.dims()[1]);
+                    let data = y.as_mut_slice();
+                    for i in 0..n {
+                        for (j, &keep) in mask.iter().enumerate() {
+                            if !keep {
+                                data[i * out + j] = 0.0;
+                            }
+                        }
                     }
                 }
+                y
             }
-        }
+        };
         self.cached_input = Some(x.clone());
         Ok(y)
     }
 
+    /// Packed forward: gather the active input columns of `x` and the
+    /// active `[in × out]` sub-grid of the weight, run the GEMM on the
+    /// packed shapes, scatter into a full-width output (exact `+0.0` in
+    /// masked columns). The masked input columns of `x` hold exact
+    /// zeros, which the matmul kernel would have skipped term-by-term,
+    /// so dropping them preserves every accumulation order.
+    fn forward_packed(
+        &self,
+        x: &Tensor,
+        out_idx: Option<&[usize]>,
+        in_idx: Option<&[usize]>,
+    ) -> Result<Tensor> {
+        let xp_store;
+        let x_p = match in_idx {
+            Some(idx) => {
+                xp_store = gather_rows_cols(x, None, Some(idx))?;
+                &xp_store
+            }
+            None => x,
+        };
+        let w_p = gather_rows_cols(&self.weight, in_idx, out_idx)?;
+        let bp_store;
+        let b_p = match out_idx {
+            Some(idx) => {
+                bp_store = gather_elems(&self.bias, idx)?;
+                &bp_store
+            }
+            None => &self.bias,
+        };
+        let y_p = x_p.matmul(&w_p)?.add_row_broadcast(b_p)?;
+        match out_idx {
+            Some(idx) => Ok(scatter_cols(&y_p, idx, self.out_features)?),
+            None => Ok(y_p),
+        }
+    }
+
     pub(crate) fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        if let Some((out_idx, in_idx)) = self.packed_plan() {
+            return self.backward_packed(grad_out, out_idx.as_deref(), in_idx.as_deref());
+        }
         let x = self
             .cached_input
             .as_ref()
@@ -147,6 +258,58 @@ impl Dense {
         self.grad_weight.axpy(1.0, &x.transpose()?.matmul(&g)?)?;
         self.grad_bias.axpy(1.0, &g.sum_rows()?)?;
         Ok(g.matmul(&self.weight.transpose()?)?)
+    }
+
+    /// Packed backward: masked output gradients are definitionally
+    /// zeroed, so gather only the active columns and scatter-add the
+    /// packed weight/bias gradients into the active sub-grid (masked
+    /// entries accumulate exactly nothing either way). The input axis
+    /// of the returned gradient stays **full-width**: `grad_input` must
+    /// be bitwise identical everywhere, including masked input
+    /// positions, whose values come out of the same GEMM terms the
+    /// full-width kernel would have used.
+    fn backward_packed(
+        &mut self,
+        grad_out: &Tensor,
+        out_idx: Option<&[usize]>,
+        in_idx: Option<&[usize]>,
+    ) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Dense" })?;
+        let gp_store;
+        let g_p = match out_idx {
+            Some(idx) => {
+                gp_store = gather_rows_cols(grad_out, None, Some(idx))?;
+                &gp_store
+            }
+            None => grad_out,
+        };
+        let xp_store;
+        let x_p = match in_idx {
+            Some(idx) => {
+                xp_store = gather_rows_cols(x, None, Some(idx))?;
+                &xp_store
+            }
+            None => x,
+        };
+        let gw_p = x_p.transpose()?.matmul(g_p)?;
+        scatter_add_rows_cols(&mut self.grad_weight, &gw_p, in_idx, out_idx)?;
+        let gb_p = g_p.sum_rows()?;
+        match out_idx {
+            Some(idx) => scatter_add_elems(&mut self.grad_bias, &gb_p, idx)?,
+            None => self.grad_bias.axpy(1.0, &gb_p)?,
+        }
+        let wr_store;
+        let w_rows = match out_idx {
+            Some(idx) => {
+                wr_store = gather_rows_cols(&self.weight, None, Some(idx))?;
+                &wr_store
+            }
+            None => &self.weight,
+        };
+        Ok(g_p.matmul(&w_rows.transpose()?)?)
     }
 
     pub(crate) fn zero_grad(&mut self) {
@@ -194,6 +357,11 @@ impl UnitMaskable for Dense {
 ///
 /// Output unit `o` (a *channel*) owns weight row `o` of the
 /// `[O, C·K·K]` weight matrix and bias element `o`.
+/// Like [`Dense`], the layer carries an optional `input_mask` of
+/// guaranteed-zero input channels (derived from the upstream layer's
+/// unit mask by [`Network::set_masks`](crate::Network::set_masks)) and
+/// runs packed execution over the active output channels × active input
+/// channels whenever either mask is installed.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     spec: ConvSpec,
@@ -202,6 +370,7 @@ pub struct Conv2d {
     grad_weight: Tensor,
     grad_bias: Tensor,
     mask: Option<Vec<bool>>,
+    input_mask: Option<Vec<bool>>,
     maskable: bool,
     cached_input: Option<Tensor>,
 }
@@ -218,6 +387,7 @@ impl Conv2d {
             grad_weight: Tensor::zeros(&wd),
             grad_bias: Tensor::zeros(&[spec.out_channels]),
             mask: None,
+            input_mask: None,
             maskable: true,
             cached_input: None,
         }
@@ -257,14 +427,103 @@ impl Conv2d {
         }
     }
 
+    /// Installs the upstream-derived input-channel mask (`true` = the
+    /// channel may be nonzero, `false` = guaranteed exactly zero). An
+    /// input mask is an optimization hint, never a requirement, so a
+    /// length mismatch conservatively clears it.
+    pub(crate) fn set_input_mask(&mut self, mask: Option<Vec<bool>>) {
+        self.input_mask = mask.filter(|m| m.len() == self.spec.in_channels);
+    }
+
+    /// The packed-execution index sets, when the fast path applies.
+    fn packed_plan(&self) -> PackedPlan {
+        if !crate::packed_execution_enabled() {
+            return None;
+        }
+        let out_idx = active_indices(self.mask.as_deref());
+        let in_idx = active_indices(self.input_mask.as_deref());
+        packable(&out_idx, &in_idx).then_some((out_idx, in_idx))
+    }
+
+    /// Weight-matrix column indices covered by the given active input
+    /// channels: the `[O, C·K·K]` layout is input-channel-major, so each
+    /// channel owns one contiguous `K·K` column block.
+    fn weight_col_blocks(&self, in_idx: &[usize]) -> Vec<usize> {
+        let kk = self.spec.kernel * self.spec.kernel;
+        in_idx
+            .iter()
+            .flat_map(|&ci| ci * kk..(ci + 1) * kk)
+            .collect()
+    }
+
+    /// The convolution geometry restricted to the active channels.
+    fn packed_spec(&self, out_idx: Option<&[usize]>, in_idx: Option<&[usize]>) -> ConvSpec {
+        ConvSpec::new(
+            in_idx.map_or(self.spec.in_channels, <[usize]>::len),
+            out_idx.map_or(self.spec.out_channels, <[usize]>::len),
+            self.spec.kernel,
+            self.spec.stride,
+            self.spec.padding,
+        )
+    }
+
     pub(crate) fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
-        let mut y = conv2d(x, &self.weight, &self.bias, &self.spec)?;
-        self.mask_channels(&mut y);
+        let y = match self.packed_plan() {
+            Some((out_idx, in_idx)) => {
+                self.forward_packed(x, out_idx.as_deref(), in_idx.as_deref())?
+            }
+            None => {
+                let mut y = conv2d(x, &self.weight, &self.bias, &self.spec)?;
+                self.mask_channels(&mut y);
+                y
+            }
+        };
         self.cached_input = Some(x.clone());
         Ok(y)
     }
 
+    /// Packed forward: gather the active input-channel planes, the
+    /// active weight sub-grid (rows = active output channels, columns =
+    /// the active channels' `K·K` blocks), run the convolution on the
+    /// packed geometry, and scatter the output planes back (exact
+    /// `+0.0` in masked channels). Masked input planes hold exact
+    /// zeros, so dropping their patch columns removes only terms the
+    /// GEMM kernel would have skipped anyway.
+    fn forward_packed(
+        &self,
+        x: &Tensor,
+        out_idx: Option<&[usize]>,
+        in_idx: Option<&[usize]>,
+    ) -> Result<Tensor> {
+        let xp_store;
+        let x_p = match in_idx {
+            Some(idx) => {
+                xp_store = gather_channels(x, idx)?;
+                &xp_store
+            }
+            None => x,
+        };
+        let col_idx = in_idx.map(|idx| self.weight_col_blocks(idx));
+        let w_p = gather_rows_cols(&self.weight, out_idx, col_idx.as_deref())?;
+        let bp_store;
+        let b_p = match out_idx {
+            Some(idx) => {
+                bp_store = gather_elems(&self.bias, idx)?;
+                &bp_store
+            }
+            None => &self.bias,
+        };
+        let y_p = conv2d(x_p, &w_p, b_p, &self.packed_spec(out_idx, in_idx))?;
+        match out_idx {
+            Some(idx) => Ok(scatter_channels(&y_p, idx, self.spec.out_channels)?),
+            None => Ok(y_p),
+        }
+    }
+
     pub(crate) fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        if let Some((out_idx, in_idx)) = self.packed_plan() {
+            return self.backward_packed(grad_out, out_idx.as_deref(), in_idx.as_deref());
+        }
         let x = self
             .cached_input
             .as_ref()
@@ -274,6 +533,61 @@ impl Conv2d {
         let grads = conv2d_backward(x, &self.weight, &g, &self.spec)?;
         self.grad_weight.axpy(1.0, &grads.grad_weight)?;
         self.grad_bias.axpy(1.0, &grads.grad_bias)?;
+        Ok(grads.grad_input)
+    }
+
+    /// Packed backward: masked output-channel gradients are
+    /// definitionally zeroed, so only the active planes are gathered;
+    /// the packed weight/bias gradients scatter-add into the active
+    /// sub-grid (masked entries accumulate exactly nothing either way).
+    /// [`conv2d_backward_packed`] keeps the weight's input-column axis
+    /// whole so `grad_input` comes back full-shape and bit-exact.
+    fn backward_packed(
+        &mut self,
+        grad_out: &Tensor,
+        out_idx: Option<&[usize]>,
+        in_idx: Option<&[usize]>,
+    ) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?;
+        let gp_store;
+        let g_p = match out_idx {
+            Some(idx) => {
+                gp_store = gather_channels(grad_out, idx)?;
+                &gp_store
+            }
+            None => grad_out,
+        };
+        let xp_store;
+        let x_p = match in_idx {
+            Some(idx) => {
+                xp_store = gather_channels(x, idx)?;
+                &xp_store
+            }
+            None => x,
+        };
+        let wr_store;
+        let w_rows = match out_idx {
+            Some(idx) => {
+                wr_store = gather_rows_cols(&self.weight, Some(idx), None)?;
+                &wr_store
+            }
+            None => &self.weight,
+        };
+        let grads = conv2d_backward_packed(x_p, w_rows, g_p, &self.spec)?;
+        let col_idx = in_idx.map(|idx| self.weight_col_blocks(idx));
+        scatter_add_rows_cols(
+            &mut self.grad_weight,
+            &grads.grad_weight,
+            out_idx,
+            col_idx.as_deref(),
+        )?;
+        match out_idx {
+            Some(idx) => scatter_add_elems(&mut self.grad_bias, &grads.grad_bias, idx)?,
+            None => self.grad_bias.axpy(1.0, &grads.grad_bias)?,
+        }
         Ok(grads.grad_input)
     }
 

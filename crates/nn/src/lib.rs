@@ -48,6 +48,7 @@
 pub mod checkpoint;
 mod cost;
 mod error;
+mod exec;
 mod layer;
 mod layers;
 mod loss;
@@ -58,6 +59,7 @@ mod profiler;
 
 pub use cost::{LayerCost, NetworkCost};
 pub use error::NnError;
+pub use exec::{packed_execution_enabled, set_packed_execution};
 pub use layer::Layer;
 pub use layers::{AvgPool2d, Conv2d, Dense, Flatten, MaxPool2d, Relu, Residual, UnitMaskable};
 pub use loss::CrossEntropyLoss;

@@ -444,6 +444,7 @@ impl Network {
                 idx += 1;
             });
         }
+        self.refresh_input_masks();
         result
     }
 
@@ -453,6 +454,21 @@ impl Network {
             layer.visit_maskable(&mut |m| {
                 let _ = m.set_unit_mask(None);
             });
+        }
+        self.refresh_input_masks();
+    }
+
+    /// Re-derives every layer's input mask from the unit masks of the
+    /// layers upstream of it. A unit mask guarantees the masked units'
+    /// outputs are exactly zero; threading that guarantee forward tells
+    /// each consuming layer which of its *inputs* are zero, which is
+    /// what lets packed execution drop the corresponding input
+    /// rows/channels without changing a single output bit. The network
+    /// input itself carries no guarantee.
+    fn refresh_input_masks(&mut self) {
+        let mut prev: Option<Vec<bool>> = None;
+        for layer in &mut self.layers {
+            prev = layer.thread_input_mask(prev.as_deref());
         }
     }
 

@@ -343,6 +343,133 @@ pub fn conv2d_backward(
     })
 }
 
+/// Gradients produced by [`conv2d_backward_packed`].
+///
+/// Weight and bias gradients are in *packed* coordinates (active output
+/// rows, active input-channel column blocks) and must be scatter-added
+/// into the full gradient tensors by the caller; `grad_input` is already
+/// full-shape and bitwise identical to the unpacked backward's.
+#[derive(Debug, Clone)]
+pub struct Conv2dPackedGrads {
+    /// Gradient with respect to the full input, `[N, C, H, W]`.
+    pub grad_input: Tensor,
+    /// Packed weight gradient, `[Oa, Ca*K*K]` (active rows × active
+    /// input-channel column blocks).
+    pub grad_weight: Tensor,
+    /// Packed bias gradient, `[Oa]`.
+    pub grad_bias: Tensor,
+}
+
+/// 2-D convolution backward pass over a *packed* sub-model.
+///
+/// `input_packed` is `[N, Ca, H, W]` — the forward input gathered down
+/// to its `Ca` active channels (every dropped channel must have been
+/// exactly zero). `weight_rows` is `[Oa, C*K*K]` — the `Oa` active rows
+/// of the full weight matrix, with the input-column axis left **whole**.
+/// `grad_output_packed` is `[N, Oa, OH, OW]`. `spec` describes the full
+/// (unpacked) geometry; the packed channel counts are read from the
+/// operands.
+///
+/// The input-column axis stays whole because `grad_input` must be
+/// produced at full shape with bit-exact values everywhere, including
+/// the masked channels — the `dcols × col2im` scatter accumulates in the
+/// same per-element order as [`conv2d_backward`], and the masked rows of
+/// `weight_rows`'s column blocks contribute the same terms they would in
+/// the unpacked GEMM. The weight/bias gradients, by contrast, are packed
+/// on both axes: their masked entries are definitionally untouched, so
+/// the caller scatter-adds only the active sub-grid.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when operand shapes are inconsistent with
+/// `spec` or with each other.
+pub fn conv2d_backward_packed(
+    input_packed: &Tensor,
+    weight_rows: &Tensor,
+    grad_output_packed: &Tensor,
+    spec: &ConvSpec,
+) -> Result<Conv2dPackedGrads> {
+    let (n, ca, h, w) = check_nchw("conv2d_backward_packed", input_packed)?;
+    let (gn, oa, goh, gow) = check_nchw("conv2d_backward_packed", grad_output_packed)?;
+    let (oh, ow) = spec.output_hw(h, w);
+    if gn != n || goh != oh || gow != ow {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward_packed",
+            lhs: grad_output_packed.dims().to_vec(),
+            rhs: vec![n, oa, oh, ow],
+        });
+    }
+    if weight_rows.dims() != [oa, spec.patch_len()] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward_packed",
+            lhs: weight_rows.dims().to_vec(),
+            rhs: vec![oa, spec.patch_len()],
+        });
+    }
+    if ca == 0 || ca > spec.in_channels || oa == 0 || oa > spec.out_channels {
+        return Err(TensorError::InvalidArgument {
+            what: format!(
+                "conv2d_backward_packed: packed channels ({ca} in, {oa} out) must be \
+                 nonzero and within the full spec ({} in, {} out)",
+                spec.in_channels, spec.out_channels
+            ),
+        });
+    }
+    // Re-layout the packed grad from NCHW to rows [N*OH*OW, Oa] and
+    // accumulate the packed bias gradient — the same loops as
+    // `conv2d_backward` with `o := oa`, so per-element order matches.
+    let g = grad_output_packed.as_slice();
+    let mut rows = vec![0.0f32; n * oh * ow * oa];
+    for_each_block(&mut rows, oh * ow * oa, oh * ow * oa, |first, chunk| {
+        for (bi, item) in chunk.chunks_mut(oh * ow * oa).enumerate() {
+            let ni = first + bi;
+            for oc in 0..oa {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        item[(oy * ow + ox) * oa + oc] = g[((ni * oa + oc) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+    });
+    let mut grad_bias = vec![0.0f32; oa];
+    for_each_block(&mut grad_bias, 1, n * oh * ow, |first, chunk| {
+        for (bi, acc) in chunk.iter_mut().enumerate() {
+            let oc = first + bi;
+            for ni in 0..n {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        *acc += g[((ni * oa + oc) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+    });
+    let grad_rows = Tensor::from_vec(rows, &[n * oh * ow, oa])?;
+    // Patch matrix over the *active* input channels only: identical
+    // entries to the active column blocks of the full im2col, in the
+    // same relative order, because the column layout is channel-major.
+    let packed_in_spec = ConvSpec {
+        in_channels: ca,
+        out_channels: oa,
+        kernel: spec.kernel,
+        stride: spec.stride,
+        padding: spec.padding,
+    };
+    let cols_p = im2col(input_packed, &packed_in_spec)?;
+    // dW_p = grad_pᵀ × cols_p : [Oa, N*OH*OW] × [N*OH*OW, Ca*KK]
+    let grad_weight = grad_rows.transpose()?.matmul(&cols_p)?;
+    // dcols = grad_p × W_rows : [N*OH*OW, Oa] × [Oa, C*KK] — full input
+    // columns, so col2im reproduces the full-shape grad_input exactly.
+    let dcols = grad_rows.matmul(weight_rows)?;
+    let grad_input = col2im(&dcols, spec, n, h, w)?;
+    Ok(Conv2dPackedGrads {
+        grad_input,
+        grad_weight,
+        grad_bias: Tensor::from_vec(grad_bias, &[oa])?,
+    })
+}
+
 /// Configuration of a 2-D pooling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PoolSpec {

@@ -35,17 +35,22 @@ mod error;
 mod init;
 mod instrument;
 mod ops;
+mod packed;
 mod parallel;
 mod shape;
 mod tensor;
 
 pub use conv::{
-    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, max_pool2d, max_pool2d_backward,
-    Conv2dGrads, ConvSpec, PoolIndices, PoolSpec,
+    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, conv2d_backward_packed, max_pool2d,
+    max_pool2d_backward, Conv2dGrads, Conv2dPackedGrads, ConvSpec, PoolIndices, PoolSpec,
 };
 pub use error::TensorError;
 pub use init::{he_normal, uniform_init, xavier_uniform, TensorRng};
 pub use instrument::{kernel_counters, KernelCounters};
+pub use packed::{
+    gather_channels, gather_elems, gather_rows_cols, scatter_add_elems, scatter_add_rows_cols,
+    scatter_channels, scatter_cols,
+};
 pub use parallel::{
     current_threads, for_each_block, for_each_block2, map_indexed, map_items_mut,
     ParallelismConfig, ParallelismGuard,
