@@ -7,9 +7,12 @@
 # upload frame is smaller than the full-model frame), and the
 # round-engine phase bench (emits results/BENCH_engine.json and
 # self-checks that Helios shrinks the straggler train-phase share
-# versus synchronous FedAvg), and the packed-execution bench (emits
+# versus synchronous FedAvg), the packed-execution bench (emits
 # results/BENCH_masked.json and self-checks that masked training
-# flops scale with the live parameter fraction).
+# flops scale with the live parameter fraction), and the observability
+# bench (emits results/BENCH_obs.json plus a JSONL + Chrome trace and
+# self-checks that disabled-mode tracing costs under 3%; the trace is
+# then re-validated with trace_report --validate).
 #
 # Usage: ./ci.sh [--skip-bench]
 set -euo pipefail
@@ -31,12 +34,12 @@ cargo fmt --all -- --check
 step "cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-step "clippy unwrap/expect deny gate (crates/fl, crates/net)"
-# Both crates carry `#![cfg_attr(not(test), deny(clippy::unwrap_used,
+step "clippy unwrap/expect deny gate (crates/fl, crates/net, crates/obs)"
+# These crates carry `#![cfg_attr(not(test), deny(clippy::unwrap_used,
 # clippy::expect_used))]`, locking in the PR 3 typed-error migration for
 # non-test code; this step compiles them standalone so a violation fails
 # CI even if the workspace pass above is ever narrowed.
-cargo clippy -p helios-fl -p helios-net --all-targets
+cargo clippy -p helios-fl -p helios-net -p helios-obs --all-targets
 
 step "cargo doc (warnings are errors)"
 # Scoped to first-party crates: the vendored deps are workspace members
@@ -44,7 +47,7 @@ step "cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
     -p helios-tensor -p helios-nn -p helios-data -p helios-device \
     -p helios-net -p helios-fl -p helios-core -p helios-bench \
-    -p helios-examples -p helios-integration
+    -p helios-obs -p helios-examples -p helios-integration
 
 step "cargo build --release"
 cargo build --release --workspace
@@ -75,6 +78,18 @@ if [ "$SKIP_BENCH" -eq 0 ]; then
     # keep=0.25 sub-model costs at most 40% of the full model.
     cargo run --release -p helios-bench --bin bench_masked
     [ -s results/BENCH_masked.json ] || { echo "BENCH_masked.json missing or empty" >&2; exit 1; }
+
+    step "observability bench (results/BENCH_obs.json + traces)"
+    # bench_obs re-parses its own JSON and exits nonzero unless the
+    # estimated disabled-mode tracing overhead stays under its budget
+    # and the host gauges are bridged into the metrics registry.
+    cargo run --release -p helios-bench --bin bench_obs
+    [ -s results/BENCH_obs.json ] || { echo "BENCH_obs.json missing or empty" >&2; exit 1; }
+
+    step "trace_report --validate (results/trace_obs.jsonl)"
+    # Structural validation of the trace bench_obs just wrote: monotone
+    # sim time, balanced phase spans, every fault event settled.
+    cargo run --release -p helios-obs --bin trace_report -- --validate results/trace_obs.jsonl
 else
     step "skipping microbench (--skip-bench)"
 fi

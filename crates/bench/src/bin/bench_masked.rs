@@ -76,6 +76,9 @@ fn train_cost(net: &mut Network, x: &Tensor, labels: &[usize]) -> (u64, f64) {
 }
 
 fn main() {
+    // Zero the process-global host accumulators so the kernel-flop
+    // deltas below start from a clean slate.
+    let _host = helios_nn::HostMetricsScope::enter();
     let mut rng = TensorRng::seed_from(SEED);
     let template = models::lenet(10, &mut rng);
     let x = uniform_init(&[BATCH, 1, 16, 16], -1.0, 1.0, &mut rng);

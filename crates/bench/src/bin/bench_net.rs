@@ -144,6 +144,9 @@ fn run_report(name: &str, strategy: &mut dyn Strategy, env: &mut FlEnv) -> RunRe
 }
 
 fn main() {
+    // Zero the process-global host accumulators so the two runs below
+    // are measured from a clean slate.
+    let _host = helios_nn::HostMetricsScope::enter();
     let mut sync_env = make_env();
     let mut helios_env = make_env();
     let param_count = sync_env.global().len();

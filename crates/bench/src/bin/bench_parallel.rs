@@ -160,6 +160,9 @@ fn bench_client_round(records: &mut Vec<KernelRecord>) {
 }
 
 fn main() {
+    // Zero the process-global host accumulators (kernel counters, nn
+    // wall timers) so repeated bench invocations don't bleed totals.
+    let _host = helios_nn::HostMetricsScope::enter();
     let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut records = Vec::new();
     bench_kernels(&mut records);

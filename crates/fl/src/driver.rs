@@ -42,6 +42,7 @@ use crate::{
     Strategy,
 };
 use helios_device::SimTime;
+use helios_obs::{PhaseGuard, TraceEvent};
 use std::time::Instant;
 
 /// The policy hooks a collaboration scheme plugs into the
@@ -230,27 +231,50 @@ impl RoundDriver {
         profile.setup_s += t.elapsed().as_secs_f64();
 
         for cycle in 0..cycles {
+            // Events carry the simulated clock; the driver publishes it
+            // at the cycle boundaries (here and after the advance).
+            helios_obs::set_sim_time(env.clock().now());
+            helios_obs::emit(|| TraceEvent::RoundStart {
+                cycle: cycle as u64,
+            });
+
             // 1. Selection + 3. per-client configuration (serial, in
             // participant order — stateful policies rely on it).
             let t = Instant::now();
-            let participants = policy.select(env, cycle)?;
+            let participants = {
+                let _span = PhaseGuard::new(cycle as u64, "select");
+                policy.select(env, cycle)?
+            };
             profile.setup_s += t.elapsed().as_secs_f64();
+            for &i in &participants {
+                helios_obs::emit(|| TraceEvent::DeviceSelected {
+                    cycle: cycle as u64,
+                    device: i as u64,
+                });
+            }
 
             // 2. Broadcast.
             let t = Instant::now();
-            policy.broadcast(env, cycle, &participants)?;
+            {
+                let _span = PhaseGuard::new(cycle as u64, "broadcast");
+                policy.broadcast(env, cycle, &participants)?;
+            }
             profile.broadcast_s += t.elapsed().as_secs_f64();
 
             let t = Instant::now();
-            for &i in &participants {
-                policy.configure_client(env, cycle, i)?;
-            }
-            // Masked compute times, read after configuration so a
-            // shrunken sub-model is billed at its reduced cost.
-            let mut compute_times = Vec::with_capacity(participants.len());
-            for &i in &participants {
-                compute_times.push(env.client(i)?.cycle_time());
-            }
+            let compute_times = {
+                let _span = PhaseGuard::new(cycle as u64, "configure");
+                for &i in &participants {
+                    policy.configure_client(env, cycle, i)?;
+                }
+                // Masked compute times, read after configuration so a
+                // shrunken sub-model is billed at its reduced cost.
+                let mut compute_times = Vec::with_capacity(participants.len());
+                for &i in &participants {
+                    compute_times.push(env.client(i)?.cycle_time());
+                }
+                compute_times
+            };
             let max_compute = compute_times
                 .iter()
                 .copied()
@@ -261,11 +285,20 @@ impl RoundDriver {
             // serial execution at any thread count).
             let kernels_before = helios_tensor::kernel_counters();
             let t = Instant::now();
-            let updates = env.train_selected(&participants)?;
+            let updates = {
+                let _span = PhaseGuard::new(cycle as u64, "train");
+                env.train_selected(&participants)?
+            };
             profile.train_s += t.elapsed().as_secs_f64();
             let train_flops = helios_tensor::kernel_counters()
                 .since(&kernels_before)
                 .flops;
+            for (&i, compute) in participants.iter().zip(&compute_times) {
+                helios_obs::emit(|| TraceEvent::TrainDone {
+                    device: i as u64,
+                    compute_s: compute.as_secs_f64(),
+                });
+            }
 
             // 5. Transport routing. Bytes are billed at the trained wire
             // size (uploads + full-model downloads) even when networking
@@ -274,7 +307,10 @@ impl RoundDriver {
             let comm_bytes = crate::cycle_comm_bytes(&updates);
             let net_before = env.transport().map(|t| *t.stats());
             let t = Instant::now();
-            let routed = env.route_updates(cycle, updates, &compute_times)?;
+            let routed = {
+                let _span = PhaseGuard::new(cycle as u64, "route");
+                env.route_updates(cycle, updates, &compute_times)?
+            };
             profile.route_s += t.elapsed().as_secs_f64();
             let wire = match (env.transport(), net_before) {
                 (Some(t), Some(before)) => t.stats().since(&before),
@@ -283,12 +319,22 @@ impl RoundDriver {
 
             // 6. Aggregation.
             let t = Instant::now();
-            policy.aggregate(env, cycle, &routed)?;
+            {
+                let _span = PhaseGuard::new(cycle as u64, "aggregate");
+                policy.aggregate(env, cycle, &routed)?;
+            }
             profile.aggregate_s += t.elapsed().as_secs_f64();
+            for u in &routed.updates {
+                helios_obs::emit(|| TraceEvent::UpdateAggregated {
+                    cycle: cycle as u64,
+                    device: u.client as u64,
+                });
+            }
 
             // 7. Clock advance + post-cycle adjustment.
             let span = policy.cycle_span(env, cycle, &routed)?;
             env.advance_clock(span);
+            helios_obs::set_sim_time(env.clock().now());
             let t = Instant::now();
             policy.post_cycle(env, cycle)?;
             profile.setup_s += t.elapsed().as_secs_f64();
@@ -298,11 +344,19 @@ impl RoundDriver {
             // clipped to the span) and the communication/waiting share.
             let kernels_before = helios_tensor::kernel_counters();
             let t = Instant::now();
-            let (test_loss, test_accuracy) = env.evaluate_global()?;
+            let (test_loss, test_accuracy) = {
+                let _span = PhaseGuard::new(cycle as u64, "evaluate");
+                env.evaluate_global()?
+            };
             profile.eval_s += t.elapsed().as_secs_f64();
             let eval_flops = helios_tensor::kernel_counters()
                 .since(&kernels_before)
                 .flops;
+            helios_obs::emit(|| TraceEvent::EvalDone {
+                cycle: cycle as u64,
+                loss: test_loss,
+                accuracy: test_accuracy,
+            });
 
             let span_s = span.as_secs_f64();
             let sim_train_s = span_s.min(max_compute.as_secs_f64());
@@ -324,6 +378,14 @@ impl RoundDriver {
                     train_flops,
                     eval_flops,
                 },
+            });
+            helios_obs::emit(|| TraceEvent::RoundEnd {
+                cycle: cycle as u64,
+                span_s,
+                train_s: sim_train_s,
+                comm_s: sim_comm_s,
+                aggregated: routed.updates.len() as u64,
+                missed: routed.missed.len() as u64,
             });
         }
 

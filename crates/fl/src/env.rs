@@ -281,6 +281,7 @@ impl FlEnv {
             // built with the full fleet upfront.
             t.add_device();
         }
+        helios_obs::emit(|| helios_obs::TraceEvent::DeviceJoined { device: id as u64 });
         Ok(id)
     }
 
@@ -317,6 +318,10 @@ impl FlEnv {
         for c in &mut self.clients {
             c.receive_global(&global, cycle)?;
         }
+        helios_obs::emit(|| helios_obs::TraceEvent::BroadcastSent {
+            cycle: cycle as u64,
+            devices: self.clients.len() as u64,
+        });
         Ok(())
     }
 

@@ -268,17 +268,17 @@ impl RunMetrics {
         self.records.iter().map(|r| r.comm_bytes).sum()
     }
 
-    /// Renders the run as CSV, one row per cycle with the per-phase
+    /// Renders the run as CSV, one row per cycle with the full per-phase
     /// breakdown appended
-    /// (`cycle,sim_time_s,accuracy,loss,participants,comm_bytes,train_s,comm_s,wire_bytes,retries,missed`).
+    /// (`cycle,sim_time_s,accuracy,loss,participants,comm_bytes,train_s,comm_s,wire_bytes,retries,missed,aggregated,train_flops,eval_flops`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "cycle,sim_time_s,accuracy,loss,participants,comm_bytes,train_s,comm_s,wire_bytes,retries,missed\n",
+            "cycle,sim_time_s,accuracy,loss,participants,comm_bytes,train_s,comm_s,wire_bytes,retries,missed,aggregated,train_flops,eval_flops\n",
         );
         for r in &self.records {
             let _ = writeln!(
                 out,
-                "{},{:.3},{:.4},{:.4},{},{:.0},{:.3},{:.3},{},{},{}",
+                "{},{:.3},{:.4},{:.4},{},{:.0},{:.3},{:.3},{},{},{},{},{},{}",
                 r.cycle,
                 r.sim_time.as_secs_f64(),
                 r.test_accuracy,
@@ -289,7 +289,10 @@ impl RunMetrics {
                 r.phases.comm_s,
                 r.phases.wire_bytes,
                 r.phases.retries,
-                r.phases.missed
+                r.phases.missed,
+                r.phases.aggregated_updates,
+                r.phases.train_flops,
+                r.phases.eval_flops
             );
         }
         out
@@ -369,9 +372,11 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 5);
         assert!(lines[0].starts_with("cycle,"));
-        assert!(lines[0].ends_with("train_s,comm_s,wire_bytes,retries,missed"));
+        assert!(lines[0].ends_with(
+            "train_s,comm_s,wire_bytes,retries,missed,aggregated,train_flops,eval_flops"
+        ));
         assert!(lines[1].starts_with("0,10.000,0.3000"));
-        assert!(lines[1].ends_with(",8.000,2.000,0,0,0"));
+        assert!(lines[1].ends_with(",8.000,2.000,0,0,0,2,0,0"));
     }
 
     #[test]

@@ -338,7 +338,7 @@ impl RoundPolicy for HeliosStrategy {
     fn configure_client(
         &mut self,
         env: &mut FlEnv,
-        _cycle: usize,
+        cycle: usize,
         client: usize,
     ) -> helios_fl::Result<()> {
         if let Some(trainer) = self.trainers.get_mut(&client) {
@@ -346,6 +346,16 @@ impl RoundPolicy for HeliosStrategy {
             // Stash rather than observe: the skip counters settle in
             // `aggregate`, once this cycle's delivery outcome is known.
             self.issued_masks.insert(client, mask.clone());
+            if helios_obs::enabled() {
+                let units = env.client_mut(client)?.network_mut().maskable_units();
+                let active: usize = mask.active_counts(&units).iter().sum();
+                helios_obs::emit(|| helios_obs::TraceEvent::MaskIssued {
+                    cycle: cycle as u64,
+                    device: client as u64,
+                    active_units: active as u64,
+                    total_units: units.total() as u64,
+                });
+            }
             env.client_mut(client)?.set_masks(Some(mask))?;
         } else {
             env.client_mut(client)?.set_masks(None)?;
@@ -356,7 +366,7 @@ impl RoundPolicy for HeliosStrategy {
     fn aggregate(
         &mut self,
         env: &mut FlEnv,
-        _cycle: usize,
+        cycle: usize,
         routed: &RoutedCycle,
     ) -> helios_fl::Result<()> {
         let updates = &routed.updates;
@@ -369,6 +379,11 @@ impl RoundPolicy for HeliosStrategy {
             if let Some(mask) = self.issued_masks.remove(&u.client) {
                 if let Some(trainer) = self.trainers.get_mut(&u.client) {
                     trainer.observe(&mask);
+                    helios_obs::emit(|| helios_obs::TraceEvent::SkipSettled {
+                        cycle: cycle as u64,
+                        device: u.client as u64,
+                        delivered: true,
+                    });
                 }
             }
         }
@@ -376,6 +391,11 @@ impl RoundPolicy for HeliosStrategy {
             if self.issued_masks.remove(client).is_some() {
                 if let Some(trainer) = self.trainers.get_mut(client) {
                     trainer.observe_missed();
+                    helios_obs::emit(|| helios_obs::TraceEvent::SkipSettled {
+                        cycle: cycle as u64,
+                        device: *client as u64,
+                        delivered: false,
+                    });
                 }
             }
         }

@@ -5,6 +5,7 @@ use crate::codec;
 use crate::error::NetError;
 use crate::link::{FaultConfig, LinkProfile, NetConfig};
 use helios_device::SimTime;
+use helios_obs::TraceEvent;
 use helios_tensor::TensorRng;
 use serde::{Deserialize, Serialize};
 
@@ -209,6 +210,9 @@ impl SimTransport {
         if let Some(d) = self.device_stats.get_mut(device) {
             d.missed_cycles += 1;
         }
+        helios_obs::emit(|| TraceEvent::Timeout {
+            device: device as u64,
+        });
     }
 
     pub(crate) fn note_failure_missed(&mut self, device: usize) {
@@ -237,12 +241,22 @@ impl SimTransport {
     ) -> Result<Transmission, NetError> {
         let link = *self.link(device)?;
         self.stats.messages += 1;
+        let obs_dir = match direction {
+            Direction::Download => helios_obs::Dir::Down,
+            Direction::Upload => helios_obs::Dir::Up,
+        };
         let mut elapsed = 0.0f64;
         let mut attempts = 0u32;
         loop {
             attempts += 1;
             self.stats.attempts += 1;
             self.stats.bytes_on_wire += frame.len() as u64;
+            helios_obs::emit(|| TraceEvent::FrameSent {
+                device: device as u64,
+                dir: obs_dir,
+                bytes: frame.len() as u64,
+                attempt: u64::from(attempts),
+            });
             let mut transfer = link.expected_transfer(frame.len()).as_secs_f64();
             let rng = &mut self.rngs[device];
             if link.jitter_s > 0.0 {
@@ -256,6 +270,10 @@ impl SimTransport {
             let dropped = self.faults.drop_prob > 0.0 && rng.unit_f64() < self.faults.drop_prob;
             if dropped {
                 self.stats.drops += 1;
+                helios_obs::emit(|| TraceEvent::FrameDropped {
+                    device: device as u64,
+                    attempt: u64::from(attempts),
+                });
             } else {
                 let corrupted =
                     self.faults.corrupt_prob > 0.0 && rng.unit_f64() < self.faults.corrupt_prob;
@@ -274,12 +292,21 @@ impl SimTransport {
                         return Ok(self.deliver(device, direction, damaged, elapsed, attempts));
                     }
                     self.stats.corruptions_detected += 1;
+                    helios_obs::emit(|| TraceEvent::FrameCorrupted {
+                        device: device as u64,
+                        attempt: u64::from(attempts),
+                    });
                 } else {
                     return Ok(self.deliver(device, direction, frame.to_vec(), elapsed, attempts));
                 }
             }
             if attempts > self.max_retries {
                 self.stats.failures += 1;
+                helios_obs::emit(|| TraceEvent::SendFailed {
+                    device: device as u64,
+                    attempts: u64::from(attempts),
+                    elapsed_s: elapsed,
+                });
                 return Ok(Transmission {
                     delivered: None,
                     elapsed: SimTime::from_secs(elapsed),
@@ -288,7 +315,13 @@ impl SimTransport {
             }
             self.stats.retries += 1;
             self.device_stats[device].retries += 1;
-            elapsed += self.retry_backoff_s * f64::from(1u32 << (attempts - 1).min(16));
+            let backoff = self.retry_backoff_s * f64::from(1u32 << (attempts - 1).min(16));
+            helios_obs::emit(|| TraceEvent::Retry {
+                device: device as u64,
+                attempt: u64::from(attempts),
+                backoff_s: backoff,
+            });
+            elapsed += backoff;
         }
     }
 
@@ -306,6 +339,12 @@ impl SimTransport {
             Direction::Download => d.download_bytes += frame.len() as u64,
             Direction::Upload => d.upload_bytes += frame.len() as u64,
         }
+        helios_obs::emit(|| TraceEvent::Delivered {
+            device: device as u64,
+            bytes: frame.len() as u64,
+            attempts: u64::from(attempts),
+            elapsed_s: elapsed,
+        });
         Transmission {
             delivered: Some(frame),
             elapsed: SimTime::from_secs(elapsed),

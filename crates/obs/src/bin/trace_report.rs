@@ -1,0 +1,433 @@
+//! Summarizes a JSONL trace produced by the `helios-obs` bus.
+//!
+//! ```text
+//! trace_report <trace.jsonl>             # human-readable report
+//! trace_report --validate <trace.jsonl>  # schema + invariant check
+//! ```
+//!
+//! The report shows a per-device timeline table (train time, transfer
+//! outcomes, faults), fault/retry totals, and an ASCII Gantt of the
+//! driver phases. `--validate` exits non-zero unless the trace parses,
+//! sim-time is monotone, every phase span closes, and every
+//! drop/corrupt/retry reaches a terminal `Delivered`/`SendFailed`/
+//! `Timeout` outcome.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use helios_obs::{parse_jsonl, TraceEvent, TraceRecord};
+
+#[derive(Default)]
+struct DeviceStats {
+    selected: u64,
+    train_cycles: u64,
+    train_s: f64,
+    delivered: u64,
+    bytes: u64,
+    drops: u64,
+    corrupt: u64,
+    retries: u64,
+    timeouts: u64,
+    failed: u64,
+    masks: u64,
+    skips_missed: u64,
+}
+
+struct Summary {
+    devices: BTreeMap<u64, DeviceStats>,
+    rounds: u64,
+    span_s: f64,
+    /// (phase, start, end) in record order.
+    phases: Vec<(String, f64, f64)>,
+    last_eval: Option<(u64, f64, f64)>,
+}
+
+fn summarize(records: &[TraceRecord]) -> Summary {
+    let mut devices: BTreeMap<u64, DeviceStats> = BTreeMap::new();
+    let mut rounds = 0;
+    let mut span_s = 0f64;
+    let mut phases = Vec::new();
+    let mut open: Vec<(String, f64)> = Vec::new();
+    let mut last_eval = None;
+
+    for rec in records {
+        match &rec.event {
+            TraceEvent::RoundEnd { span_s: s, .. } => {
+                rounds += 1;
+                span_s += s;
+            }
+            TraceEvent::PhaseStart { phase, .. } => open.push((phase.clone(), rec.t)),
+            TraceEvent::PhaseEnd { phase, .. } => {
+                if let Some(pos) = open.iter().rposition(|(p, _)| p == phase) {
+                    let (p, start) = open.remove(pos);
+                    phases.push((p, start, rec.t));
+                }
+            }
+            TraceEvent::DeviceSelected { device, .. } => {
+                devices.entry(*device).or_default().selected += 1;
+            }
+            TraceEvent::MaskIssued { device, .. } => {
+                devices.entry(*device).or_default().masks += 1;
+            }
+            TraceEvent::TrainDone { device, compute_s } => {
+                let d = devices.entry(*device).or_default();
+                d.train_cycles += 1;
+                d.train_s += compute_s;
+            }
+            TraceEvent::FrameDropped { device, .. } => {
+                devices.entry(*device).or_default().drops += 1;
+            }
+            TraceEvent::FrameCorrupted { device, .. } => {
+                devices.entry(*device).or_default().corrupt += 1;
+            }
+            TraceEvent::Retry { device, .. } => {
+                devices.entry(*device).or_default().retries += 1;
+            }
+            TraceEvent::Delivered { device, bytes, .. } => {
+                let d = devices.entry(*device).or_default();
+                d.delivered += 1;
+                d.bytes += bytes;
+            }
+            TraceEvent::SendFailed { device, .. } => {
+                devices.entry(*device).or_default().failed += 1;
+            }
+            TraceEvent::Timeout { device } => {
+                devices.entry(*device).or_default().timeouts += 1;
+            }
+            TraceEvent::SkipSettled {
+                device,
+                delivered: false,
+                ..
+            } => {
+                devices.entry(*device).or_default().skips_missed += 1;
+            }
+            TraceEvent::EvalDone {
+                cycle,
+                loss,
+                accuracy,
+            } => last_eval = Some((*cycle, *loss, *accuracy)),
+            _ => {}
+        }
+    }
+
+    Summary {
+        devices,
+        rounds,
+        span_s,
+        phases,
+        last_eval,
+    }
+}
+
+fn print_report(summary: &Summary) {
+    println!(
+        "rounds: {}   simulated span: {:.3}s",
+        summary.rounds, summary.span_s
+    );
+    if let Some((cycle, loss, acc)) = summary.last_eval {
+        println!("final eval (cycle {cycle}): loss {loss:.4}  accuracy {acc:.4}");
+    }
+
+    println!();
+    println!(
+        "{:>6} {:>4} {:>6} {:>9} {:>5} {:>9} {:>5} {:>7} {:>5} {:>5} {:>4} {:>5} {:>6}",
+        "device",
+        "sel",
+        "train",
+        "train_s",
+        "deliv",
+        "bytes",
+        "drop",
+        "corrupt",
+        "retry",
+        "tmout",
+        "fail",
+        "masks",
+        "missed"
+    );
+    for (id, d) in &summary.devices {
+        println!(
+            "{:>6} {:>4} {:>6} {:>9.3} {:>5} {:>9} {:>5} {:>7} {:>5} {:>5} {:>4} {:>5} {:>6}",
+            id,
+            d.selected,
+            d.train_cycles,
+            d.train_s,
+            d.delivered,
+            d.bytes,
+            d.drops,
+            d.corrupt,
+            d.retries,
+            d.timeouts,
+            d.failed,
+            d.masks,
+            d.skips_missed
+        );
+    }
+
+    let totals = summary
+        .devices
+        .values()
+        .fold((0u64, 0u64, 0u64, 0u64), |acc, d| {
+            (
+                acc.0 + d.drops + d.corrupt,
+                acc.1 + d.retries,
+                acc.2 + d.timeouts,
+                acc.3 + d.failed,
+            )
+        });
+    println!();
+    println!(
+        "faults: {} dropped/corrupted   retries: {}   timeouts: {}   failed sends: {}",
+        totals.0, totals.1, totals.2, totals.3
+    );
+
+    // ASCII Gantt of the driver phases, scaled to the trace's span.
+    if summary.phases.is_empty() {
+        return;
+    }
+    let t0 = summary
+        .phases
+        .iter()
+        .map(|(_, s, _)| *s)
+        .fold(f64::INFINITY, f64::min);
+    let t1 = summary
+        .phases
+        .iter()
+        .map(|(_, _, e)| *e)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let width = 60.0;
+    let scale = if t1 > t0 { width / (t1 - t0) } else { 0.0 };
+    println!();
+    println!("phase gantt ({t0:.3}s .. {t1:.3}s):");
+    for (phase, start, end) in &summary.phases {
+        let lead = (((start - t0) * scale).round() as usize).min(width as usize);
+        let len = ((((end - start) * scale).round() as usize).max(1))
+            .min(width as usize - lead.min(width as usize - 1));
+        println!(
+            "{:>10} |{}{}| {:.3}s",
+            phase,
+            " ".repeat(lead),
+            "#".repeat(len),
+            end - start
+        );
+    }
+}
+
+fn validate(records: &[TraceRecord]) -> Result<(), String> {
+    if records.is_empty() {
+        return Err("trace is empty".to_string());
+    }
+
+    // 1. Sim-time is monotone (non-decreasing) across the trace.
+    let mut prev = f64::NEG_INFINITY;
+    for (i, rec) in records.iter().enumerate() {
+        if !rec.t.is_finite() {
+            return Err(format!("record {}: non-finite timestamp {}", i + 1, rec.t));
+        }
+        if rec.t < prev {
+            return Err(format!(
+                "record {}: sim-time regressed ({} < {prev})",
+                i + 1,
+                rec.t
+            ));
+        }
+        prev = rec.t;
+    }
+
+    // 2. Every phase span closes, properly nested per (cycle, phase).
+    let mut open: Vec<(u64, String)> = Vec::new();
+    for rec in records {
+        match &rec.event {
+            TraceEvent::PhaseStart { cycle, phase } => open.push((*cycle, phase.clone())),
+            TraceEvent::PhaseEnd { cycle, phase } => {
+                match open.iter().rposition(|(c, p)| c == cycle && p == phase) {
+                    Some(pos) => {
+                        open.remove(pos);
+                    }
+                    None => {
+                        return Err(format!(
+                            "PhaseEnd without matching start: cycle {cycle} phase {phase}"
+                        ))
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some((cycle, phase)) = open.first() {
+        return Err(format!("unclosed phase: cycle {cycle} phase {phase}"));
+    }
+
+    // 3. Every non-terminal frame event (sent/dropped/corrupted/retry)
+    //    is followed by a terminal outcome for that device.
+    let mut pending: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, rec) in records.iter().enumerate() {
+        match &rec.event {
+            TraceEvent::FrameSent { device, .. }
+            | TraceEvent::FrameDropped { device, .. }
+            | TraceEvent::FrameCorrupted { device, .. }
+            | TraceEvent::Retry { device, .. } => {
+                pending.insert(*device, i + 1);
+            }
+            TraceEvent::Delivered { device, .. }
+            | TraceEvent::SendFailed { device, .. }
+            | TraceEvent::Timeout { device } => {
+                pending.remove(device);
+            }
+            _ => {}
+        }
+    }
+    if let Some((device, line)) = pending.iter().next() {
+        return Err(format!(
+            "device {device}: frame activity at record {line} never reached a terminal \
+             Delivered/SendFailed/Timeout outcome"
+        ));
+    }
+
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (do_validate, path) = match args.as_slice() {
+        [flag, path] if flag == "--validate" => (true, path.clone()),
+        [path, flag] if flag == "--validate" => (true, path.clone()),
+        [path] => (false, path.clone()),
+        _ => {
+            return Err("usage: trace_report [--validate] <trace.jsonl>".to_string());
+        }
+    };
+
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let records = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    if do_validate {
+        validate(&records).map_err(|e| format!("{path}: INVALID: {e}"))?;
+        println!("{path}: OK ({} records, schema + monotone sim-time + phase nesting + terminal outcomes)", records.len());
+        return Ok(());
+    }
+
+    print_report(&summarize(&records));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_obs::Dir;
+
+    fn rec(t: f64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { t, event }
+    }
+
+    fn healthy_trace() -> Vec<TraceRecord> {
+        vec![
+            rec(0.0, TraceEvent::RoundStart { cycle: 0 }),
+            rec(
+                0.0,
+                TraceEvent::PhaseStart {
+                    cycle: 0,
+                    phase: "route".into(),
+                },
+            ),
+            rec(
+                0.0,
+                TraceEvent::FrameSent {
+                    device: 1,
+                    dir: Dir::Up,
+                    bytes: 32,
+                    attempt: 1,
+                },
+            ),
+            rec(
+                0.1,
+                TraceEvent::FrameDropped {
+                    device: 1,
+                    attempt: 1,
+                },
+            ),
+            rec(
+                0.1,
+                TraceEvent::Retry {
+                    device: 1,
+                    attempt: 1,
+                    backoff_s: 0.05,
+                },
+            ),
+            rec(
+                0.4,
+                TraceEvent::Delivered {
+                    device: 1,
+                    bytes: 32,
+                    attempts: 2,
+                    elapsed_s: 0.4,
+                },
+            ),
+            rec(
+                0.5,
+                TraceEvent::PhaseEnd {
+                    cycle: 0,
+                    phase: "route".into(),
+                },
+            ),
+            rec(
+                0.5,
+                TraceEvent::RoundEnd {
+                    cycle: 0,
+                    span_s: 0.5,
+                    train_s: 0.0,
+                    comm_s: 0.5,
+                    aggregated: 1,
+                    missed: 0,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn healthy_trace_validates_and_summarizes() {
+        let records = healthy_trace();
+        validate(&records).expect("valid");
+        let summary = summarize(&records);
+        assert_eq!(summary.rounds, 1);
+        let d = summary.devices.get(&1).expect("device 1");
+        assert_eq!(d.drops, 1);
+        assert_eq!(d.retries, 1);
+        assert_eq!(d.delivered, 1);
+        assert_eq!(summary.phases.len(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_time_regression() {
+        let mut records = healthy_trace();
+        records[3].t = -1.0;
+        let err = validate(&records).expect_err("regression");
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_unterminated_retry() {
+        let mut records = healthy_trace();
+        records.retain(|r| !matches!(r.event, TraceEvent::Delivered { .. }));
+        let err = validate(&records).expect_err("dangling retry");
+        assert!(err.contains("terminal"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_unclosed_phase() {
+        let mut records = healthy_trace();
+        records.retain(|r| !matches!(r.event, TraceEvent::PhaseEnd { .. }));
+        let err = validate(&records).expect_err("unclosed phase");
+        assert!(err.contains("unclosed"), "{err}");
+    }
+}

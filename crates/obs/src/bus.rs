@@ -1,0 +1,265 @@
+//! The process-wide deterministic event bus.
+//!
+//! The bus is **off by default** and zero-cost when off: [`emit`] takes
+//! a closure and checks one relaxed atomic before building the event,
+//! so an uninstrumented run pays a single predictable branch per call
+//! site. Installing a sink flips the bus on; dropping the returned
+//! [`SinkHandle`] detaches it again (the bus turns back off when the
+//! last sink detaches).
+//!
+//! ## Timestamps
+//!
+//! Events are stamped with **simulated** time, published by the round
+//! driver via [`set_sim_time`] as the sim-clock advances. Host
+//! wall-clock never enters a trace, which is the property that makes
+//! traces bitwise reproducible across thread widths. There is no
+//! global sequence counter either — one would differ between runs
+//! sharing a process — so the record order *is* the sequence.
+//!
+//! ## Determinism contract
+//!
+//! Every emission point in the workspace sits on the serial main-thread
+//! path (driver phases, post-join fan-in, transport send loop); nothing
+//! emits from inside a parallel worker. That keeps the record stream
+//! byte-identical regardless of `ParallelismConfig`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use helios_device::SimTime;
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::sink::TraceSink;
+
+/// Fast-path switch: true iff at least one sink is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Current simulated time, stored as raw f64 bits.
+static SIM_TIME_BITS: AtomicU64 = AtomicU64::new(0);
+/// Installed sinks, keyed by handle id so detach removes the right one.
+static SINKS: Mutex<Vec<(u64, Box<dyn TraceSink>)>> = Mutex::new(Vec::new());
+/// Monotonic id source for [`SinkHandle`]s.
+static NEXT_HANDLE: AtomicU64 = AtomicU64::new(1);
+
+fn sinks() -> std::sync::MutexGuard<'static, Vec<(u64, Box<dyn TraceSink>)>> {
+    SINKS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Whether any sink is currently installed.
+///
+/// Call sites may use this to skip *argument* computation that the
+/// [`emit`] closure cannot capture cheaply; `emit` itself already
+/// checks it.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Publishes the current simulated time for subsequent events.
+///
+/// The driver calls this as the sim-clock advances; emission points
+/// never read the clock themselves. The value is stored raw (no
+/// monotone clamping) so back-to-back runs in one process each start
+/// from their own t=0; [`trace-report`'s] `--validate` checks per-trace
+/// monotonicity instead.
+///
+/// [`trace-report`'s]: crate
+#[inline]
+pub fn set_sim_time(now: SimTime) {
+    if enabled() {
+        SIM_TIME_BITS.store(now.as_secs_f64().to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// The simulated timestamp events are currently stamped with.
+#[inline]
+pub fn sim_time_s() -> f64 {
+    f64::from_bits(SIM_TIME_BITS.load(Ordering::Relaxed))
+}
+
+/// Emits an event to every installed sink.
+///
+/// The closure only runs when a sink is installed, so call sites can
+/// pass payload construction (formatting, mask counting) without
+/// penalising untraced runs.
+#[inline]
+pub fn emit(event: impl FnOnce() -> TraceEvent) {
+    if !enabled() {
+        return;
+    }
+    emit_record(TraceRecord {
+        t: sim_time_s(),
+        event: event(),
+    });
+}
+
+fn emit_record(record: TraceRecord) {
+    let mut guard = sinks();
+    match guard.len() {
+        0 => {}
+        1 => guard[0].1.record(&record),
+        _ => {
+            for (_, sink) in guard.iter_mut() {
+                sink.record(&record);
+            }
+        }
+    }
+}
+
+/// Detaches its sink (and flushes it) when dropped.
+///
+/// Returned by [`install`]; hold it for the duration of the traced run.
+#[must_use = "dropping the handle immediately uninstalls the sink"]
+pub struct SinkHandle {
+    id: u64,
+}
+
+impl Drop for SinkHandle {
+    fn drop(&mut self) {
+        let mut guard = sinks();
+        if let Some(pos) = guard.iter().position(|(id, _)| *id == self.id) {
+            let (_, mut sink) = guard.remove(pos);
+            sink.flush();
+        }
+        if guard.is_empty() {
+            ENABLED.store(false, Ordering::Relaxed);
+            SIM_TIME_BITS.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Installs a sink and switches the bus on.
+///
+/// Sinks receive records in emission order. The sink is detached (and
+/// flushed) when the returned handle drops.
+pub fn install(sink: Box<dyn TraceSink>) -> SinkHandle {
+    let id = NEXT_HANDLE.fetch_add(1, Ordering::Relaxed);
+    let mut guard = sinks();
+    guard.push((id, sink));
+    ENABLED.store(true, Ordering::Relaxed);
+    drop(guard);
+    SinkHandle { id }
+}
+
+/// Flushes every installed sink (e.g. before reading a trace file that
+/// is still being written).
+pub fn flush() {
+    for (_, sink) in sinks().iter_mut() {
+        sink.flush();
+    }
+}
+
+/// Emits `PhaseStart` on construction and `PhaseEnd` on drop.
+///
+/// ```
+/// # use helios_obs::PhaseGuard;
+/// {
+///     let _phase = PhaseGuard::new(3, "train");
+///     // ... run the phase ...
+/// } // PhaseEnd emitted here
+/// ```
+pub struct PhaseGuard {
+    cycle: u64,
+    phase: &'static str,
+}
+
+impl PhaseGuard {
+    /// Opens a phase span for `cycle`.
+    pub fn new(cycle: u64, phase: &'static str) -> Self {
+        emit(|| TraceEvent::PhaseStart {
+            cycle,
+            phase: phase.to_string(),
+        });
+        PhaseGuard { cycle, phase }
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let (cycle, phase) = (self.cycle, self.phase);
+        emit(|| TraceEvent::PhaseEnd {
+            cycle,
+            phase: phase.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingBufferSink;
+
+    /// The bus is process-global, so tests touching it serialize here.
+    pub(crate) static BUS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_bus_skips_payload_construction() {
+        let _serial = BUS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut built = false;
+        emit(|| {
+            built = true;
+            TraceEvent::Timeout { device: 0 }
+        });
+        assert!(!built, "closure must not run with no sink installed");
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn install_emit_detach_round_trip() {
+        let _serial = BUS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let ring = RingBufferSink::with_capacity(16);
+        let handle = install(Box::new(ring.clone()));
+        assert!(enabled());
+
+        set_sim_time(SimTime::from_secs(2.5));
+        emit(|| TraceEvent::RoundStart { cycle: 1 });
+        emit(|| TraceEvent::Timeout { device: 7 });
+
+        let records = ring.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].t, 2.5);
+        assert_eq!(records[0].event, TraceEvent::RoundStart { cycle: 1 });
+        assert_eq!(records[1].event, TraceEvent::Timeout { device: 7 });
+
+        drop(handle);
+        assert!(!enabled());
+        emit(|| TraceEvent::RoundStart { cycle: 2 });
+        assert_eq!(ring.records().len(), 2, "detached sink stays quiet");
+        assert_eq!(sim_time_s(), 0.0, "time resets when the bus empties");
+    }
+
+    #[test]
+    fn phase_guard_brackets_its_span() {
+        let _serial = BUS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let ring = RingBufferSink::with_capacity(16);
+        let handle = install(Box::new(ring.clone()));
+        {
+            let _phase = PhaseGuard::new(4, "route");
+            emit(|| TraceEvent::Timeout { device: 1 });
+        }
+        drop(handle);
+        let kinds: Vec<&str> = ring.records().iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds, ["PhaseStart", "Timeout", "PhaseEnd"]);
+    }
+
+    #[test]
+    fn multiple_sinks_each_receive_records() {
+        let _serial = BUS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let a = RingBufferSink::with_capacity(4);
+        let b = RingBufferSink::with_capacity(4);
+        let ha = install(Box::new(a.clone()));
+        let hb = install(Box::new(b.clone()));
+        emit(|| TraceEvent::RoundStart { cycle: 9 });
+        drop(ha);
+        emit(|| TraceEvent::RoundEnd {
+            cycle: 9,
+            span_s: 1.0,
+            train_s: 0.5,
+            comm_s: 0.5,
+            aggregated: 1,
+            missed: 0,
+        });
+        drop(hb);
+        assert_eq!(a.records().len(), 1);
+        assert_eq!(b.records().len(), 2, "surviving sink keeps recording");
+    }
+}

@@ -1,0 +1,356 @@
+//! Chrome `trace_event` exporter — traces open directly in Perfetto or
+//! `chrome://tracing` with one track per device plus a driver track.
+//!
+//! Mapping:
+//! - tid 0 is the **driver** track: phase spans become `"X"` complete
+//!   events, round/eval markers become `"i"` instants.
+//! - tid `device + 1` is that device's track: `TrainDone` and
+//!   `Delivered`/`SendFailed` become `"X"` spans ending at the record's
+//!   timestamp (their duration fields give the start), everything else
+//!   a `"i"` instant.
+//! - `"M"` metadata events name the tracks.
+//!
+//! Timestamps are simulated microseconds (`ts = t * 1e6`), so the
+//! Perfetto timeline reads in sim-time directly.
+
+use serde::value::Value;
+use serde::Serialize;
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::sink::TraceSink;
+
+const PID: u64 = 1;
+/// Driver-track tid; device `d` renders on tid `d + 1`.
+const DRIVER_TID: u64 = 0;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn us(t_s: f64) -> Value {
+    // Round to whole microseconds: deterministic, and Perfetto does not
+    // resolve finer anyway.
+    Value::Float((t_s * 1e6).round())
+}
+
+fn event(ph: &str, name: &str, tid: u64, ts_s: f64, mut extra: Vec<(&str, Value)>) -> Value {
+    let mut pairs = vec![
+        ("name", Value::Str(name.to_string())),
+        ("ph", Value::Str(ph.to_string())),
+        ("ts", us(ts_s)),
+        ("pid", Value::UInt(PID)),
+        ("tid", Value::UInt(tid)),
+    ];
+    pairs.append(&mut extra);
+    obj(pairs)
+}
+
+fn instant(name: &str, tid: u64, ts_s: f64, args: Value) -> Value {
+    event(
+        "i",
+        name,
+        tid,
+        ts_s,
+        vec![("s", Value::Str("t".to_string())), ("args", args)],
+    )
+}
+
+fn span(name: &str, tid: u64, start_s: f64, dur_s: f64, args: Value) -> Value {
+    event(
+        "X",
+        name,
+        tid,
+        start_s,
+        vec![("dur", us(dur_s.max(0.0))), ("args", args)],
+    )
+}
+
+fn thread_name(tid: u64, name: &str) -> Value {
+    obj(vec![
+        ("name", Value::Str("thread_name".to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("pid", Value::UInt(PID)),
+        ("tid", Value::UInt(tid)),
+        ("args", obj(vec![("name", Value::Str(name.to_string()))])),
+    ])
+}
+
+fn device_tid(device: u64) -> u64 {
+    device + 1
+}
+
+/// Renders a record stream as a Chrome `trace_event` JSON document.
+///
+/// Phase spans are reconstructed by pairing each `PhaseStart` with the
+/// next matching `PhaseEnd`; unmatched starts are emitted as instants
+/// so a truncated trace still loads.
+pub fn chrome_trace(records: &[TraceRecord]) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(records.len() + 8);
+    let mut devices: Vec<u64> = Vec::new();
+    // Open phase spans: (cycle, phase name, start time).
+    let mut open_phases: Vec<(u64, String, f64)> = Vec::new();
+
+    for rec in records {
+        if let Some(d) = rec.event.device() {
+            if !devices.contains(&d) {
+                devices.push(d);
+            }
+        }
+        match &rec.event {
+            TraceEvent::PhaseStart { cycle, phase } => {
+                open_phases.push((*cycle, phase.clone(), rec.t));
+            }
+            TraceEvent::PhaseEnd { cycle, phase } => {
+                if let Some(pos) = open_phases
+                    .iter()
+                    .rposition(|(c, p, _)| c == cycle && p == phase)
+                {
+                    let (_, _, start) = open_phases.remove(pos);
+                    events.push(span(
+                        phase,
+                        DRIVER_TID,
+                        start,
+                        rec.t - start,
+                        obj(vec![("cycle", Value::UInt(*cycle))]),
+                    ));
+                }
+            }
+            TraceEvent::TrainDone { device, compute_s } => {
+                events.push(span(
+                    "train",
+                    device_tid(*device),
+                    rec.t - compute_s,
+                    *compute_s,
+                    obj(vec![("compute_s", Value::Float(*compute_s))]),
+                ));
+            }
+            TraceEvent::Delivered {
+                device,
+                bytes,
+                attempts,
+                elapsed_s,
+            } => {
+                events.push(span(
+                    "transfer",
+                    device_tid(*device),
+                    rec.t - elapsed_s,
+                    *elapsed_s,
+                    obj(vec![
+                        ("bytes", Value::UInt(*bytes)),
+                        ("attempts", Value::UInt(*attempts)),
+                    ]),
+                ));
+            }
+            TraceEvent::SendFailed {
+                device,
+                attempts,
+                elapsed_s,
+            } => {
+                events.push(span(
+                    "transfer-failed",
+                    device_tid(*device),
+                    rec.t - elapsed_s,
+                    *elapsed_s,
+                    obj(vec![("attempts", Value::UInt(*attempts))]),
+                ));
+            }
+            other => {
+                let tid = other.device().map_or(DRIVER_TID, device_tid);
+                let args = other.to_value();
+                events.push(instant(other.kind(), tid, rec.t, args));
+            }
+        }
+    }
+
+    // A truncated trace may leave phases open; render them as instants.
+    for (cycle, phase, start) in open_phases {
+        events.push(instant(
+            &format!("{phase} (unclosed)"),
+            DRIVER_TID,
+            start,
+            obj(vec![("cycle", Value::UInt(cycle))]),
+        ));
+    }
+
+    let mut meta = vec![thread_name(DRIVER_TID, "driver")];
+    devices.sort_unstable();
+    for d in devices {
+        meta.push(thread_name(device_tid(d), &format!("device {d}")));
+    }
+    meta.extend(events);
+
+    let doc = obj(vec![
+        ("traceEvents", Value::Seq(meta)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&doc).unwrap_or_else(|_| "{\"traceEvents\":[]}".to_string())
+}
+
+/// Buffers records and writes a Chrome trace file when detached.
+pub struct ChromeTraceSink {
+    records: Vec<TraceRecord>,
+    path: std::path::PathBuf,
+    written: bool,
+}
+
+impl ChromeTraceSink {
+    /// Buffers the run's records; the trace lands at `path` on flush
+    /// (i.e. when the bus detaches the sink) or drop.
+    pub fn create(path: &std::path::Path) -> Self {
+        ChromeTraceSink {
+            records: Vec::new(),
+            path: path.to_path_buf(),
+            written: false,
+        }
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&mut self, record: &TraceRecord) {
+        self.records.push(record.clone());
+        self.written = false;
+    }
+
+    fn flush(&mut self) {
+        if !self.written {
+            let _ = std::fs::write(&self.path, chrome_trace(&self.records));
+            self.written = true;
+        }
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Dir;
+    use serde::value::find;
+
+    fn trace() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                t: 0.0,
+                event: TraceEvent::RoundStart { cycle: 0 },
+            },
+            TraceRecord {
+                t: 0.0,
+                event: TraceEvent::PhaseStart {
+                    cycle: 0,
+                    phase: "train".into(),
+                },
+            },
+            TraceRecord {
+                t: 2.0,
+                event: TraceEvent::TrainDone {
+                    device: 3,
+                    compute_s: 2.0,
+                },
+            },
+            TraceRecord {
+                t: 2.0,
+                event: TraceEvent::PhaseEnd {
+                    cycle: 0,
+                    phase: "train".into(),
+                },
+            },
+            TraceRecord {
+                t: 2.5,
+                event: TraceEvent::FrameSent {
+                    device: 3,
+                    dir: Dir::Up,
+                    bytes: 64,
+                    attempt: 1,
+                },
+            },
+            TraceRecord {
+                t: 3.0,
+                event: TraceEvent::Delivered {
+                    device: 3,
+                    bytes: 64,
+                    attempts: 1,
+                    elapsed_s: 0.5,
+                },
+            },
+        ]
+    }
+
+    fn parse(json: &str) -> Vec<Value> {
+        let doc: Value = serde_json::from_str(json).expect("valid JSON");
+        let Value::Map(pairs) = doc else {
+            panic!("not an object")
+        };
+        let Some(Value::Seq(events)) = find(&pairs, "traceEvents").cloned() else {
+            panic!("no traceEvents array")
+        };
+        events
+    }
+
+    fn field<'a>(ev: &'a Value, key: &str) -> &'a Value {
+        let Value::Map(pairs) = ev else {
+            panic!("event not an object")
+        };
+        find(pairs, key).unwrap_or(&Value::Null)
+    }
+
+    #[test]
+    fn exports_valid_trace_with_device_tracks() {
+        let json = chrome_trace(&trace());
+        let events = parse(&json);
+
+        let metas: Vec<&Value> = events
+            .iter()
+            .filter(|e| field(e, "ph") == &Value::Str("M".into()))
+            .collect();
+        assert_eq!(metas.len(), 2, "driver + one device track");
+        assert_eq!(field(metas[0], "tid"), &Value::UInt(0));
+        assert_eq!(field(metas[1], "tid"), &Value::UInt(4), "device 3 → tid 4");
+
+        let spans: Vec<&Value> = events
+            .iter()
+            .filter(|e| field(e, "ph") == &Value::Str("X".into()))
+            .collect();
+        assert_eq!(spans.len(), 3, "phase + train + transfer");
+        let train_phase = spans
+            .iter()
+            .find(|e| {
+                field(e, "name") == &Value::Str("train".into())
+                    && field(e, "tid") == &Value::UInt(0)
+            })
+            .expect("driver train span");
+        assert_eq!(field(train_phase, "ts"), &Value::Float(0.0));
+        assert_eq!(field(train_phase, "dur"), &Value::Float(2_000_000.0));
+    }
+
+    #[test]
+    fn unclosed_phase_degrades_to_instant() {
+        let mut records = trace();
+        records.retain(|r| !matches!(r.event, TraceEvent::PhaseEnd { .. }));
+        let events = parse(&chrome_trace(&records));
+        assert!(events.iter().any(|e| {
+            field(e, "name") == &Value::Str("train (unclosed)".into())
+                && field(e, "ph") == &Value::Str("i".into())
+        }));
+    }
+
+    #[test]
+    fn sink_writes_file_on_drop() {
+        let dir = std::env::temp_dir().join("helios_obs_chrome_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("trace.json");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = ChromeTraceSink::create(&path);
+            for rec in trace() {
+                sink.record(&rec);
+            }
+        }
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        assert!(!parse(&text).is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

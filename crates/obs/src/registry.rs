@@ -1,0 +1,387 @@
+//! Process-wide counter/gauge/histogram registry.
+//!
+//! The registry is the one facade over every numeric accumulator in the
+//! workspace. Two kinds of instrument live here:
+//!
+//! - **Owned** counters/gauges/histograms, created by [`counter`],
+//!   [`gauge`], and [`histogram`]: lock-free atomics updated from
+//!   anywhere.
+//! - **Polled** gauges, registered by [`register_poll`]: closures read
+//!   at snapshot time. The existing process-global atomics (tensor
+//!   kernel counters, `nn::profiler` wall timers) bridge in this way —
+//!   they stay **host-only** (never part of simulated outcomes or
+//!   traces) but become visible through the same [`snapshot`] API.
+//!
+//! Snapshots are sorted by metric name, so rendering them is
+//! deterministic regardless of registration order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (scoped-run hygiene; see [`reset_owned`]).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins gauge holding an `f64`.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Fixed-bucket histogram over non-negative samples.
+///
+/// Buckets are powers of two over the sample (`floor(log2(v)) + 1`,
+/// with a dedicated zero bucket), capped at 32 buckets — enough to
+/// summarize attempt counts, byte sizes, and second-scale durations
+/// without configuration.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Arc<[AtomicU64; Histogram::BUCKETS]>,
+    count: Arc<AtomicU64>,
+    sum_bits: Arc<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: Arc::new(AtomicU64::new(0)),
+            sum_bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Histogram {
+    const BUCKETS: usize = 32;
+
+    fn bucket_index(v: f64) -> usize {
+        if v.is_nan() || v <= 0.0 {
+            return 0;
+        }
+        let exp = v.log2().floor();
+        // Bucket 1 holds (0, 1]; each doubling moves one bucket up.
+        let idx = (exp as i64 + 1).clamp(1, Self::BUCKETS as i64 - 1);
+        idx as usize
+    }
+
+    /// Records one sample (negative/NaN samples land in the zero
+    /// bucket rather than being dropped, so counts always reconcile).
+    pub fn observe(&self, v: f64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Single-writer in practice (serial emission path); a racy
+        // read-modify-write here would only skew a host-side summary.
+        let old = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        self.sum_bits
+            .store((old + v.max(0.0)).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of (non-negative parts of) samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)`, smallest first.
+    /// The zero bucket reports upper bound 0.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                let bound = if i == 0 { 0.0 } else { 2f64.powi(i as i32) };
+                Some((bound, n))
+            })
+            .collect()
+    }
+
+    /// Clears all samples.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    Poll(Box<dyn Fn() -> f64 + Send + Sync>),
+}
+
+struct Registry {
+    instruments: HashMap<String, Instrument>,
+}
+
+fn registry() -> std::sync::MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| {
+            Mutex::new(Registry {
+                instruments: HashMap::new(),
+            })
+        })
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Registers (or retrieves) the counter named `name`.
+///
+/// Repeated calls with one name return handles to the same counter; a
+/// name already bound to a different instrument kind yields a fresh,
+/// unregistered handle rather than panicking.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry();
+    match reg
+        .instruments
+        .entry(name.to_string())
+        .or_insert_with(|| Instrument::Counter(Counter::default()))
+    {
+        Instrument::Counter(c) => c.clone(),
+        _ => Counter::default(),
+    }
+}
+
+/// Registers (or retrieves) the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry();
+    match reg
+        .instruments
+        .entry(name.to_string())
+        .or_insert_with(|| Instrument::Gauge(Gauge::default()))
+    {
+        Instrument::Gauge(g) => g.clone(),
+        _ => Gauge::default(),
+    }
+}
+
+/// Registers (or retrieves) the histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = registry();
+    match reg
+        .instruments
+        .entry(name.to_string())
+        .or_insert_with(|| Instrument::Histogram(Histogram::default()))
+    {
+        Instrument::Histogram(h) => h.clone(),
+        _ => Histogram::default(),
+    }
+}
+
+/// Registers a polled gauge: `read` is invoked at [`snapshot`] time.
+///
+/// This is the bridge for pre-existing process-global atomics (kernel
+/// flop counters, profiler nanosecond totals) that cannot become owned
+/// instruments without rewiring their hot paths. Re-registering a name
+/// replaces the closure.
+pub fn register_poll(name: &str, read: impl Fn() -> f64 + Send + Sync + 'static) {
+    registry()
+        .instruments
+        .insert(name.to_string(), Instrument::Poll(Box::new(read)));
+}
+
+/// One metric in a [`snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Registered name.
+    pub name: String,
+    /// Instrument kind: `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: &'static str,
+    /// Counter value, gauge value, or histogram mean.
+    pub value: f64,
+    /// Histogram sample count (0 for other kinds).
+    pub count: u64,
+}
+
+/// Reads every instrument, sorted by name (deterministic rendering).
+pub fn snapshot() -> Vec<MetricSample> {
+    let reg = registry();
+    let mut out: Vec<MetricSample> = reg
+        .instruments
+        .iter()
+        .map(|(name, inst)| match inst {
+            Instrument::Counter(c) => MetricSample {
+                name: name.clone(),
+                kind: "counter",
+                value: c.get() as f64,
+                count: 0,
+            },
+            Instrument::Gauge(g) => MetricSample {
+                name: name.clone(),
+                kind: "gauge",
+                value: g.get(),
+                count: 0,
+            },
+            Instrument::Histogram(h) => MetricSample {
+                name: name.clone(),
+                kind: "histogram",
+                value: h.mean(),
+                count: h.count(),
+            },
+            Instrument::Poll(read) => MetricSample {
+                name: name.clone(),
+                kind: "gauge",
+                value: read(),
+                count: 0,
+            },
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Resets every **owned** instrument to zero. Polled gauges are left
+/// alone — their underlying accumulators have their own reset paths
+/// (see `helios_nn::profiler::HostMetricsScope`).
+pub fn reset_owned() {
+    for inst in registry().instruments.values() {
+        match inst {
+            Instrument::Counter(c) => c.reset(),
+            Instrument::Gauge(g) => g.reset(),
+            Instrument::Histogram(h) => h.reset(),
+            Instrument::Poll(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and tests share one binary, so
+    // every test uses its own metric names.
+
+    #[test]
+    fn counter_gauge_histogram_round_trip() {
+        let c = counter("test.rt.counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(counter("test.rt.counter").get(), 5, "same handle by name");
+
+        let g = gauge("test.rt.gauge");
+        g.set(2.5);
+        assert_eq!(gauge("test.rt.gauge").get(), 2.5);
+
+        let h = histogram("test.rt.hist");
+        for v in [0.0, 0.5, 3.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106.5);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], (0.0, 1), "zero bucket");
+        assert!(buckets.iter().any(|&(b, n)| b == 4.0 && n == 2));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_covers_polls() {
+        counter("test.snap.b").add(2);
+        register_poll("test.snap.a", || 7.5);
+        let snap = snapshot();
+        let ours: Vec<&MetricSample> = snap
+            .iter()
+            .filter(|s| s.name.starts_with("test.snap."))
+            .collect();
+        assert_eq!(ours.len(), 2);
+        assert_eq!(ours[0].name, "test.snap.a");
+        assert_eq!(ours[0].value, 7.5);
+        assert_eq!(ours[0].kind, "gauge");
+        assert_eq!(ours[1].name, "test.snap.b");
+        assert_eq!(ours[1].value, 2.0);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_handle() {
+        counter("test.kind.metric").add(3);
+        let g = gauge("test.kind.metric");
+        g.set(9.0);
+        // The registered counter is untouched; the gauge handle works
+        // but is not registered.
+        assert_eq!(counter("test.kind.metric").get(), 3);
+        assert_eq!(g.get(), 9.0);
+    }
+
+    #[test]
+    fn reset_owned_spares_polls() {
+        let c = counter("test.reset.counter");
+        c.add(9);
+        let h = histogram("test.reset.hist");
+        h.observe(1.0);
+        register_poll("test.reset.poll", || 42.0);
+        reset_owned();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        let snap = snapshot();
+        let poll = snap
+            .iter()
+            .find(|s| s.name == "test.reset.poll")
+            .expect("poll survives");
+        assert_eq!(poll.value, 42.0);
+    }
+}

@@ -46,7 +46,7 @@ pub use conv::{
 };
 pub use error::TensorError;
 pub use init::{he_normal, uniform_init, xavier_uniform, TensorRng};
-pub use instrument::{kernel_counters, KernelCounters};
+pub use instrument::{kernel_counters, reset_kernel_counters, KernelCounters};
 pub use packed::{
     gather_channels, gather_elems, gather_rows_cols, scatter_add_elems, scatter_add_rows_cols,
     scatter_channels, scatter_cols,

@@ -148,6 +148,21 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+/// A `Value` serializes as itself, so callers can build raw JSON trees.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// A `Value` deserializes as itself, so callers can inspect arbitrary
+/// JSON without declaring a schema.
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
