@@ -7,7 +7,9 @@
 # upload frame is smaller than the full-model frame), and the
 # round-engine phase bench (emits results/BENCH_engine.json and
 # self-checks that Helios shrinks the straggler train-phase share
-# versus synchronous FedAvg), the packed-execution bench (emits
+# versus synchronous FedAvg), the fleet-scaling bench (emits
+# results/BENCH_fleet.json and self-checks that peak memory stays
+# near-flat from 1k to 100k enrolled devices), the packed-execution bench (emits
 # results/BENCH_masked.json and self-checks that masked training
 # flops scale with the live parameter fraction), and the observability
 # bench (emits results/BENCH_obs.json plus a JSONL + Chrome trace and
@@ -71,6 +73,14 @@ if [ "$SKIP_BENCH" -eq 0 ]; then
     # of the round versus synchronous FedAvg.
     cargo run --release -p helios-bench --bin bench_engine
     [ -s results/BENCH_engine.json ] || { echo "BENCH_engine.json missing or empty" >&2; exit 1; }
+
+    step "fleet-scaling bench (results/BENCH_fleet.json)"
+    # bench_fleet re-parses its own JSON and exits nonzero unless every
+    # cycle aggregates exactly the 500-device cohort, live clients stay
+    # capped at the cohort, peak memory is near-flat across the
+    # 1k/10k/100k population sweep, and a repeated run replays bitwise.
+    cargo run --release -p helios-bench --bin bench_fleet
+    [ -s results/BENCH_fleet.json ] || { echo "BENCH_fleet.json missing or empty" >&2; exit 1; }
 
     step "packed sub-model execution bench (results/BENCH_masked.json)"
     # bench_masked re-parses its own JSON and exits nonzero unless packed

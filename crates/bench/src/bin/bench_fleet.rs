@@ -1,0 +1,231 @@
+//! **BENCH_fleet** — fleet-scale scaling curve of the lazy device
+//! population.
+//!
+//! Runs the same 3-cycle synchronous workload (500 uniformly sampled
+//! participants per round, eviction on) against enrolled populations of
+//! 1k, 10k, and 100k devices described by a [`helios_fl::FleetSpec`] —
+//! profiles, shards, and seeds are pure functions of
+//! `(seed, device_index)`, so unsampled devices are never instantiated.
+//! Writes `results/BENCH_fleet.json`, then re-parses its own artifact
+//! and asserts the fleet contract: every cycle aggregates exactly the
+//! cohort, live client state stays O(cohort), peak memory is near-flat
+//! across a 100× population sweep, the 100k run finishes in seconds,
+//! and a repeated 1k run replays bitwise. Exits nonzero otherwise.
+
+use helios_bench::results_dir;
+use helios_data::{ShardSynthesizer, SyntheticVision};
+use helios_device::ProfileSynthesizer;
+use helios_fl::{FlConfig, FlEnv, FleetSpec, RunMetrics, SamplerConfig, Strategy, SyncFedAvg};
+use helios_nn::models::ModelKind;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+const SEED: u64 = 77;
+const CYCLES: usize = 3;
+const COHORT: usize = 500;
+const POPULATIONS: [usize; 3] = [1_000, 10_000, 100_000];
+/// Samples held by each device's synthesized shard.
+const SHARD_SAMPLES: usize = 8;
+/// Held-out test-set size used for the per-cycle global evaluation.
+const TEST_SAMPLES: usize = 64;
+
+/// Peak-memory headroom allowed across the 100× population sweep, in
+/// kB. The population-dependent state is one recorded seed (8 B) per
+/// device — ~800 kB at 100k — so 64 MiB comfortably covers allocator
+/// noise while still failing loudly if anything O(population) per
+/// device sneaks back in.
+const MAX_HWM_GROWTH_KB: u64 = 64 * 1024;
+/// Wall-clock ceiling for the 100k-device run ("seconds-scale", with
+/// generous slack for loaded CI hosts).
+const MAX_WALL_S: f64 = 120.0;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ScalePoint {
+    population: usize,
+    /// Host wall-clock seconds for the full 3-cycle run (env
+    /// construction included).
+    wall_s: f64,
+    /// `VmHWM` (peak resident set, kB) observed *after* this run.
+    /// Populations run in ascending order, so the 1k→100k delta bounds
+    /// the population-dependent footprint.
+    peak_rss_kb: u64,
+    /// Clients still instantiated when the run ended; eviction keeps
+    /// this at O(cohort) regardless of population.
+    materialized_clients: usize,
+    /// Updates aggregated per cycle — must equal the cohort size.
+    participants_per_cycle: Vec<usize>,
+    /// Final-cycle global-model test accuracy (sanity only).
+    final_accuracy: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct FleetBenchReport {
+    seed: u64,
+    cycles: usize,
+    cohort: usize,
+    /// Whether two identical 1k runs produced equal [`RunMetrics`].
+    determinism_ok: bool,
+    points: Vec<ScalePoint>,
+}
+
+/// Reads the process peak resident set (`VmHWM`) in kB from
+/// `/proc/self/status`. Returns 0 on platforms without procfs, which
+/// disarms the memory self-check rather than failing it spuriously.
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Builds the lazy environment: `population` enrolled devices, none
+/// instantiated, uniform 500-device cohorts, eviction on.
+fn make_env(population: usize) -> FlEnv {
+    let spec = FleetSpec::new(
+        population,
+        ProfileSynthesizer::new(SEED, 0.3),
+        ShardSynthesizer::new(SyntheticVision::mnist_like(), SHARD_SAMPLES, SEED)
+            .expect("shard synthesizer"),
+    )
+    .evict_unsampled();
+    let test = spec.shards.test_set(TEST_SAMPLES).expect("test set");
+    FlEnv::new_lazy(
+        ModelKind::LeNet,
+        spec,
+        test,
+        FlConfig {
+            seed: SEED,
+            sampling: SamplerConfig::uniform(COHORT),
+            ..FlConfig::default()
+        },
+    )
+    .expect("lazy env")
+}
+
+fn run_once(population: usize) -> (RunMetrics, usize) {
+    let mut env = make_env(population);
+    let metrics = SyncFedAvg::new()
+        .run(&mut env, CYCLES)
+        .expect("sync run over sampled cohorts");
+    (metrics, env.materialized_clients())
+}
+
+fn scale_point(population: usize) -> ScalePoint {
+    let start = Instant::now();
+    let (metrics, materialized) = run_once(population);
+    let wall_s = start.elapsed().as_secs_f64();
+    let records = metrics.records();
+    ScalePoint {
+        population,
+        wall_s,
+        peak_rss_kb: vm_hwm_kb(),
+        materialized_clients: materialized,
+        participants_per_cycle: records.iter().map(|r| r.participants).collect(),
+        final_accuracy: records.last().map_or(0.0, |r| r.test_accuracy),
+    }
+}
+
+fn main() {
+    println!(
+        "Fleet scaling — {COHORT} sampled/round, {CYCLES} cycles, populations {POPULATIONS:?}"
+    );
+
+    // Bitwise replay first, while the high-water mark is still low.
+    let (a, _) = run_once(POPULATIONS[0]);
+    let (b, _) = run_once(POPULATIONS[0]);
+    let determinism_ok = a == b;
+    println!(
+        "determinism: two {}-device runs {}",
+        POPULATIONS[0],
+        if determinism_ok {
+            "replay bitwise — ok"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    let mut points = Vec::new();
+    for population in POPULATIONS {
+        let p = scale_point(population);
+        println!(
+            "population {:>7}  wall {:>6.2}s  peak rss {:>8} kB  materialized {:>4}  acc {:.3}",
+            p.population, p.wall_s, p.peak_rss_kb, p.materialized_clients, p.final_accuracy,
+        );
+        points.push(p);
+    }
+
+    let report = FleetBenchReport {
+        seed: SEED,
+        cycles: CYCLES,
+        cohort: COHORT,
+        determinism_ok,
+        points,
+    };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join("BENCH_fleet.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write report");
+    println!("\nwrote {}", path.display());
+
+    // Self-check against the artifact we just wrote.
+    let parsed: FleetBenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read back"))
+            .expect("BENCH_fleet.json must parse");
+    let mut ok = true;
+    let mut check = |name: &str, pass: bool| {
+        println!("check: {name} — {}", if pass { "ok" } else { "FAIL" });
+        ok &= pass;
+    };
+    check("1k-device run replays bitwise", parsed.determinism_ok);
+    for p in &parsed.points {
+        check(
+            &format!(
+                "population {}: every cycle aggregates the full {}-device cohort",
+                p.population, parsed.cohort
+            ),
+            p.participants_per_cycle.len() == parsed.cycles
+                && p.participants_per_cycle.iter().all(|&n| n == parsed.cohort),
+        );
+        check(
+            &format!(
+                "population {}: live clients capped at the cohort ({} materialized)",
+                p.population, p.materialized_clients
+            ),
+            p.materialized_clients <= parsed.cohort,
+        );
+    }
+    let first = &parsed.points[0];
+    let last = &parsed.points[parsed.points.len() - 1];
+    if first.peak_rss_kb > 0 {
+        let growth = last.peak_rss_kb.saturating_sub(first.peak_rss_kb);
+        check(
+            &format!(
+                "peak memory near-flat across {}x population sweep (+{growth} kB <= {MAX_HWM_GROWTH_KB} kB)",
+                last.population / first.population,
+            ),
+            growth <= MAX_HWM_GROWTH_KB,
+        );
+    } else {
+        println!("check: peak memory — skipped (no /proc/self/status)");
+    }
+    check(
+        &format!(
+            "{}-device run finishes in seconds ({:.2}s <= {MAX_WALL_S}s)",
+            last.population, last.wall_s
+        ),
+        last.wall_s <= MAX_WALL_S,
+    );
+    if !ok {
+        eprintln!("fleet scaling self-check failed");
+        std::process::exit(1);
+    }
+}

@@ -111,22 +111,22 @@ fn run_report(name: &str, strategy: &mut dyn Strategy, env: &mut FlEnv) -> RunRe
     let metrics = strategy.run(env, CYCLES).expect("strategy run");
     let transport = env.transport().expect("networking enabled");
     let stats = *transport.stats();
-    let devices = transport
-        .device_stats()
-        .iter()
-        .enumerate()
-        .map(|(i, d)| DeviceReport {
-            client: i,
-            straggler: i >= CAPABLE,
-            upload_bytes: d.upload_bytes,
-            download_bytes: d.download_bytes,
-            retries: d.retries,
-            missed_cycles: d.missed_cycles,
-            upload_frame_bytes: env
-                .client(i)
-                .expect("client")
-                .upload_wire_size()
-                .total_bytes(),
+    let devices = (0..transport.num_devices())
+        .map(|i| {
+            let d = transport.device_stats(i);
+            DeviceReport {
+                client: i,
+                straggler: i >= CAPABLE,
+                upload_bytes: d.upload_bytes,
+                download_bytes: d.download_bytes,
+                retries: d.retries,
+                missed_cycles: d.missed_cycles,
+                upload_frame_bytes: env
+                    .client(i)
+                    .expect("client")
+                    .upload_wire_size()
+                    .total_bytes(),
+            }
         })
         .collect();
     RunReport {

@@ -48,7 +48,7 @@ mod synthetic;
 
 pub use dataset::{Batches, Dataset};
 pub use error::DataError;
-pub use synthetic::SyntheticVision;
+pub use synthetic::{ShardSynthesizer, SyntheticVision};
 
 /// Crate-wide result alias carrying a [`DataError`].
 pub type Result<T> = std::result::Result<T, DataError>;

@@ -95,6 +95,14 @@ impl SyntheticVision {
         test_samples: usize,
         rng: &mut TensorRng,
     ) -> Result<(Dataset, Dataset)> {
+        self.validate()?;
+        let prototypes = self.make_prototypes(rng);
+        let train = self.sample_dataset(train_samples, &prototypes, rng)?;
+        let test = self.sample_dataset(test_samples, &prototypes, rng)?;
+        Ok((train, test))
+    }
+
+    fn validate(&self) -> Result<()> {
         if self.num_classes == 0 || self.channels == 0 || self.side == 0 {
             return Err(crate::DataError::InvalidArgument {
                 what: "classes, channels and side must be nonzero".into(),
@@ -108,10 +116,7 @@ impl SyntheticVision {
                 ),
             });
         }
-        let prototypes = self.make_prototypes(rng);
-        let train = self.sample_dataset(train_samples, &prototypes, rng)?;
-        let test = self.sample_dataset(test_samples, &prototypes, rng)?;
-        Ok((train, test))
+        Ok(())
     }
 
     /// Per-class prototypes: coarse uniform grids upsampled bilinearly.
@@ -169,6 +174,112 @@ impl SyntheticVision {
         }
         let images = Tensor::from_vec(data, &[n, self.channels, self.side, self.side])?;
         Dataset::new(images, labels, self.num_classes)
+    }
+}
+
+/// Golden-ratio multiplier used across the workspace for index mixing.
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+/// Domain-separation tag for per-shard sample streams ("SHRD").
+const SHARD_STREAM: u64 = 0x5348_5244;
+/// Domain-separation tag for the shared prototype stream ("PRTO").
+const PROTO_STREAM: u64 = 0x5052_544f;
+/// Domain-separation tag for the held-out test stream ("TEST").
+const TEST_STREAM: u64 = 0x5445_5354;
+
+/// On-demand generator of per-device data shards.
+///
+/// A fleet-scale population cannot pre-partition one giant dataset: at
+/// 100k devices the training corpus would dwarf memory while almost all
+/// of it belongs to devices that are never sampled. Instead, every shard
+/// is synthesized lazily from a seed that is a pure function of
+/// `(base_seed, shard_index)`, against one shared set of class
+/// prototypes drawn once at construction — so all shards describe the
+/// *same* underlying task, shard `i` is bit-for-bit reproducible in any
+/// access order, and unsampled shards cost nothing.
+///
+/// # Example
+///
+/// ```
+/// use helios_data::{ShardSynthesizer, SyntheticVision};
+///
+/// let synth = ShardSynthesizer::new(SyntheticVision::mnist_like(), 12, 42).unwrap();
+/// let a = synth.shard(70_000).unwrap();
+/// let b = synth.shard(70_000).unwrap();
+/// assert_eq!(a.images().as_slice(), b.images().as_slice());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardSynthesizer {
+    spec: SyntheticVision,
+    prototypes: Vec<Vec<f32>>,
+    samples_per_shard: usize,
+    base_seed: u64,
+}
+
+impl ShardSynthesizer {
+    /// Creates a synthesizer: validates `spec` and draws the shared class
+    /// prototypes from a dedicated stream of `base_seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DataError::InvalidArgument`] for a zero-sized
+    /// spec or an empty shard size.
+    pub fn new(spec: SyntheticVision, samples_per_shard: usize, base_seed: u64) -> Result<Self> {
+        spec.validate()?;
+        if samples_per_shard == 0 {
+            return Err(crate::DataError::InvalidArgument {
+                what: "samples_per_shard must be nonzero".into(),
+            });
+        }
+        let mut proto_rng = TensorRng::seed_from(base_seed ^ PROTO_STREAM);
+        let prototypes = spec.make_prototypes(&mut proto_rng);
+        Ok(ShardSynthesizer {
+            spec,
+            prototypes,
+            samples_per_shard,
+            base_seed,
+        })
+    }
+
+    /// The dataset specification shared by every shard.
+    pub fn spec(&self) -> &SyntheticVision {
+        &self.spec
+    }
+
+    /// Number of samples in each synthesized shard.
+    pub fn samples_per_shard(&self) -> usize {
+        self.samples_per_shard
+    }
+
+    /// The seed every per-shard stream is derived from.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Synthesizes the shard of device `index`.
+    ///
+    /// Pure in `(base_seed, index)`: the shard's noise stream is seeded
+    /// from `base_seed ^ SHRD ^ GOLDEN·(index+1)` and never touches any
+    /// other device's stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor-construction failures from the sampler.
+    pub fn shard(&self, index: usize) -> Result<Dataset> {
+        let seed = self.base_seed ^ SHARD_STREAM ^ GOLDEN.wrapping_mul(index as u64 + 1);
+        let mut rng = TensorRng::seed_from(seed);
+        self.spec
+            .sample_dataset(self.samples_per_shard, &self.prototypes, &mut rng)
+    }
+
+    /// Synthesizes a held-out test set of `n` samples against the same
+    /// prototypes, from a stream disjoint from every shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor-construction failures from the sampler.
+    pub fn test_set(&self, n: usize) -> Result<Dataset> {
+        let mut rng = TensorRng::seed_from(self.base_seed ^ TEST_STREAM);
+        self.spec.sample_dataset(n, &self.prototypes, &mut rng)
     }
 }
 
@@ -242,6 +353,62 @@ mod tests {
         let mut spec = SyntheticVision::mnist_like();
         spec.prototype_grid = 99;
         assert!(spec.generate(10, 0, &mut TensorRng::seed_from(0)).is_err());
+    }
+
+    #[test]
+    fn shards_are_pure_in_seed_and_index() {
+        let a = ShardSynthesizer::new(SyntheticVision::mnist_like(), 8, 5).unwrap();
+        let b = ShardSynthesizer::new(SyntheticVision::mnist_like(), 8, 5).unwrap();
+        // Access in different orders; bits must match.
+        let a9 = a.shard(9).unwrap();
+        let _ = a.shard(0).unwrap();
+        let _ = b.shard(3).unwrap();
+        let b9 = b.shard(9).unwrap();
+        assert_eq!(a9.images().as_slice(), b9.images().as_slice());
+        assert_eq!(a9.labels(), b9.labels());
+        // Distinct shards carry distinct noise.
+        let a10 = a.shard(10).unwrap();
+        assert_ne!(a9.images().as_slice(), a10.images().as_slice());
+    }
+
+    #[test]
+    fn shards_share_one_prototype_task() {
+        // Same class in two different shards must be closer than different
+        // classes in one shard — all shards describe the same task.
+        let synth = ShardSynthesizer::new(SyntheticVision::mnist_like(), 20, 6).unwrap();
+        let s0 = synth.shard(0).unwrap();
+        let s1 = synth.shard(1).unwrap();
+        let len: usize = s0.sample_dims().iter().product();
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+        let img0 = s0.images().as_slice();
+        let img1 = s1.images().as_slice();
+        // Samples are labeled round-robin, so index i has class i % 10.
+        let same = dist(&img0[..len], &img1[..len]);
+        let cross = dist(&img0[..len], &img0[len..2 * len]);
+        assert!(
+            same < cross,
+            "cross-shard same-class {same} vs cross-class {cross}"
+        );
+    }
+
+    #[test]
+    fn test_set_stream_is_disjoint_from_shards() {
+        let synth = ShardSynthesizer::new(SyntheticVision::mnist_like(), 8, 7).unwrap();
+        let test = synth.test_set(8).unwrap();
+        let s0 = synth.shard(0).unwrap();
+        assert_ne!(test.images().as_slice(), s0.images().as_slice());
+        // And reproducible.
+        let again = synth.test_set(8).unwrap();
+        assert_eq!(test.images().as_slice(), again.images().as_slice());
+    }
+
+    #[test]
+    fn shard_synthesizer_rejects_bad_specs() {
+        let mut spec = SyntheticVision::mnist_like();
+        spec.num_classes = 0;
+        assert!(ShardSynthesizer::new(spec, 8, 0).is_err());
+        assert!(ShardSynthesizer::new(SyntheticVision::mnist_like(), 0, 0).is_err());
     }
 
     #[test]

@@ -45,10 +45,12 @@
 mod clock;
 mod cost;
 mod events;
+pub mod fleet;
 pub mod presets;
 mod profile;
 
 pub use clock::{SimClock, SimTime};
 pub use cost::{CostModel, TrainingWorkload};
 pub use events::EventQueue;
+pub use fleet::ProfileSynthesizer;
 pub use profile::ResourceProfile;

@@ -38,8 +38,8 @@
 
 use crate::metrics::{PhaseBreakdown, RunProfile};
 use crate::{
-    aggregate, FlEnv, LocalUpdate, MaskedUpdate, Result, RoundRecord, RoutedCycle, RunMetrics,
-    Strategy,
+    FlEnv, LocalUpdate, MaskedUpdate, OnlineAggregator, Result, RoundRecord, RoutedCycle,
+    RunMetrics, Strategy,
 };
 use helios_device::SimTime;
 use helios_obs::{PhaseGuard, TraceEvent};
@@ -74,14 +74,16 @@ pub trait RoundPolicy {
 
     /// Names this cycle's participants. The returned order is the
     /// training *and* aggregation order; duplicates are rejected by the
-    /// driver. Defaults to every client in id order.
+    /// driver. Defaults to [`FlEnv::select_cohort`]: with sampling
+    /// disabled that is every client in id order (the historical
+    /// behavior), with sampling enabled it is the cycle's deterministic
+    /// cohort draw, materialized and ready to train.
     ///
     /// # Errors
     ///
     /// Returns selection errors (e.g. an unknown client id).
     fn select(&mut self, env: &mut FlEnv, cycle: usize) -> Result<Vec<usize>> {
-        let _ = cycle;
-        Ok((0..env.num_clients()).collect())
+        env.select_cohort(cycle)
     }
 
     /// Distributes the global model at the top of the cycle. Defaults to
@@ -166,15 +168,18 @@ impl<P: RoundPolicy> Strategy for P {
 /// produced by this environment's clients).
 pub fn fedavg_into_global(env: &mut FlEnv, updates: &[LocalUpdate]) -> Result<()> {
     let mut global = env.global().to_vec();
-    let masked: Vec<MaskedUpdate<'_>> = updates
-        .iter()
-        .map(|u| MaskedUpdate {
+    // Stream one update at a time through the online accumulator —
+    // bitwise identical to collect-then-[`aggregate`] (which is itself
+    // built on the same fold) while holding O(model) server state.
+    let mut acc = OnlineAggregator::new(global.len());
+    for u in updates {
+        acc.push(&MaskedUpdate {
             params: &u.params,
             param_mask: u.param_mask.as_deref(),
             weight: u.num_samples as f64,
-        })
-        .collect();
-    aggregate(&mut global, &masked);
+        });
+    }
+    acc.finish_into(&mut global);
     env.set_global(global)
 }
 
@@ -236,6 +241,7 @@ impl RoundDriver {
             helios_obs::set_sim_time(env.clock().now());
             helios_obs::emit(|| TraceEvent::RoundStart {
                 cycle: cycle as u64,
+                population: env.num_clients() as u64,
             });
 
             // 1. Selection + 3. per-client configuration (serial, in
@@ -250,6 +256,7 @@ impl RoundDriver {
                 helios_obs::emit(|| TraceEvent::DeviceSelected {
                     cycle: cycle as u64,
                     device: i as u64,
+                    cohort: participants.len() as u64,
                 });
             }
 

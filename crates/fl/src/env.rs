@@ -1,5 +1,7 @@
 //! The shared experimental environment a strategy runs against.
 
+use crate::fleet::{AvailabilityModel, FleetSpec};
+use crate::sampler::{ClientSampler, SamplerConfig};
 use crate::{Client, FlError, LocalUpdate, Result};
 use helios_data::Dataset;
 use helios_device::{ResourceProfile, SimClock, SimTime};
@@ -8,6 +10,7 @@ use helios_nn::models::ModelKind;
 use helios_nn::{CrossEntropyLoss, Network};
 use helios_tensor::{map_items_mut, ParallelismConfig, TensorRng};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Hyper-parameters shared by every strategy run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,6 +48,12 @@ pub struct FlConfig {
     /// unchanged.
     #[serde(default)]
     pub net: NetConfig,
+    /// Per-round client sampling for fleet-scale populations. Defaults
+    /// to *disabled* (every enrolled device participates every round),
+    /// so configs written before this section existed keep loading
+    /// unchanged.
+    #[serde(default)]
+    pub sampling: SamplerConfig,
 }
 
 impl Default for FlConfig {
@@ -59,6 +68,7 @@ impl Default for FlConfig {
             workload_scale: 2000.0,
             parallelism: ParallelismConfig::auto(),
             net: NetConfig::default(),
+            sampling: SamplerConfig::default(),
         }
     }
 }
@@ -97,6 +107,7 @@ impl FlConfig {
                 self.workload_scale
             ));
         }
+        self.sampling.validate()?;
         self.net.validate().map_err(FlError::Net)
     }
 }
@@ -116,15 +127,78 @@ pub struct RoutedCycle {
     pub missed: Vec<usize>,
 }
 
+/// Client storage: either the full fleet constructed up front (the
+/// pre-fleet path, unchanged behavior) or a lazily materialized
+/// population described by a [`FleetSpec`].
+// One store per environment: the variant size gap is irrelevant, and
+// boxing the lazy half would cost an indirection on every client access.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum ClientStore {
+    /// Every client lives in memory for the whole run.
+    Eager(Vec<Client>),
+    /// Clients are materialized on demand from pure per-device
+    /// generators; unsampled devices cost 8 bytes (their RNG seed).
+    Lazy(LazyFleet),
+}
+
+/// The lazy half of [`ClientStore`].
+#[derive(Debug, Clone)]
+struct LazyFleet {
+    spec: FleetSpec,
+    /// Pristine post-init model cloned into each materialized client.
+    /// (`FlEnv::eval_net` cannot serve this role: evaluation mutates it.)
+    template: Network,
+    /// The master RNG's split chain, one recorded seed per device, so
+    /// client `i` constructed at any later time gets bit-for-bit the RNG
+    /// the eager constructor would have handed it.
+    seeds: Vec<u64>,
+    /// Materialized clients, keyed by id. Iteration order is ascending
+    /// id, matching the eager vector.
+    cache: BTreeMap<usize, Client>,
+}
+
+impl LazyFleet {
+    /// Constructs client `i` from the spec's pure generators and its
+    /// recorded seed. Pure in `i`: materializing in any order, or after
+    /// eviction, yields identical clients.
+    fn materialize(&self, i: usize, config: &FlConfig) -> Result<Client> {
+        let shard = self.spec.shards.shard(i)?;
+        let profile = self.spec.profiles.profile(i);
+        Ok(Client::new(
+            i,
+            self.template.clone(),
+            shard,
+            profile,
+            config.learning_rate,
+            config.momentum,
+            config.batch_size,
+            config.local_epochs,
+            config.workload_scale,
+            TensorRng::seed_from(self.seeds[i]),
+        ))
+    }
+}
+
 /// The full experimental setup: a fleet of [`Client`]s, the held-out test
 /// set, the global parameter vector, and the simulated clock.
 ///
 /// One `FlEnv` hosts one strategy run; construct a fresh environment (same
 /// seed) per strategy to compare them from identical initial conditions.
 /// See the crate-level example.
+///
+/// # Eager vs lazy fleets
+///
+/// [`FlEnv::new`] builds every client up front — right for the paper's
+/// tens-of-devices experiments. [`FlEnv::new_lazy`] instead takes a
+/// [`FleetSpec`] whose profiles, shards, and availability are pure
+/// functions of `(seed, device_index)`, so a 100k-device population
+/// costs O(1) memory per enrolled device until [`FlEnv::select_cohort`]
+/// materializes the sampled cohort. A lazy environment run through the
+/// same cohorts is bitwise identical to its eagerly constructed twin.
 #[derive(Debug, Clone)]
 pub struct FlEnv {
-    clients: Vec<Client>,
+    store: ClientStore,
     test_set: Dataset,
     eval_net: Network,
     global: Vec<f32>,
@@ -133,6 +207,9 @@ pub struct FlEnv {
     /// Present iff `config.net.enabled`: the simulated transport every
     /// synchronous round is routed through.
     transport: Option<SimTransport>,
+    /// Participation propensities consumed by availability-weighted
+    /// sampling; `always_on` unless a [`FleetSpec`] says otherwise.
+    availability: AvailabilityModel,
 }
 
 impl FlEnv {
@@ -193,13 +270,75 @@ impl FlEnv {
             None
         };
         Ok(FlEnv {
-            clients,
+            store: ClientStore::Eager(clients),
             test_set,
             eval_net: template,
             global,
             clock: SimClock::new(),
             config,
             transport,
+            availability: AvailabilityModel::always_on(),
+        })
+    }
+
+    /// Builds a fleet-scale environment whose clients are materialized
+    /// on demand from the spec's pure per-device generators.
+    ///
+    /// Model initialization consumes the master RNG exactly as
+    /// [`FlEnv::new`] does, and the per-client split chain is recorded
+    /// as one `u64` seed per enrolled device — the only per-device state
+    /// held for unsampled devices. Materializing the same indices
+    /// therefore reproduces the eager constructor's clients bit-for-bit,
+    /// in any order, at any time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidStrategyConfig`] for an empty
+    /// population or [`FlError::InvalidRunConfig`] when
+    /// [`FlConfig::validate`] rejects the configuration.
+    pub fn new_lazy(
+        model: ModelKind,
+        spec: FleetSpec,
+        test_set: Dataset,
+        config: FlConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        if spec.population == 0 {
+            return Err(FlError::InvalidStrategyConfig {
+                what: "fleet must not be empty".into(),
+            });
+        }
+        let num_classes = test_set.num_classes();
+        let mut master_rng = TensorRng::seed_from(config.seed);
+        let template = model.build(num_classes, &mut master_rng);
+        let global = template.param_vector();
+        let seeds: Vec<u64> = (0..spec.population)
+            .map(|_| master_rng.next_seed())
+            .collect();
+        let transport = if config.net.enabled {
+            Some(SimTransport::new(
+                spec.population,
+                &config.net,
+                config.seed,
+            )?)
+        } else {
+            None
+        };
+        let availability = spec.availability;
+        Ok(FlEnv {
+            store: ClientStore::Lazy(LazyFleet {
+                spec,
+                template: template.clone(),
+                seeds,
+                cache: BTreeMap::new(),
+            }),
+            test_set,
+            eval_net: template,
+            global,
+            clock: SimClock::new(),
+            config,
+            transport,
+            availability,
         })
     }
 
@@ -208,44 +347,172 @@ impl FlEnv {
         &self.config
     }
 
-    /// Number of clients.
+    /// Number of enrolled clients (for a lazy fleet: the population,
+    /// materialized or not).
     pub fn num_clients(&self) -> usize {
-        self.clients.len()
+        match &self.store {
+            ClientStore::Eager(v) => v.len(),
+            ClientStore::Lazy(l) => l.spec.population,
+        }
     }
 
-    /// Immutable client access.
+    /// Number of clients currently held in memory. Equals
+    /// [`FlEnv::num_clients`] for eager environments; for lazy fleets it
+    /// counts the cache — the fleet bench's O(cohort) memory contract.
+    pub fn materialized_clients(&self) -> usize {
+        match &self.store {
+            ClientStore::Eager(v) => v.len(),
+            ClientStore::Lazy(l) => l.cache.len(),
+        }
+    }
+
+    /// Whether this environment materializes clients on demand.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.store, ClientStore::Lazy(_))
+    }
+
+    /// The availability model consulted by weighted sampling.
+    pub fn availability_model(&self) -> &AvailabilityModel {
+        &self.availability
+    }
+
+    /// Whether per-round cohort sampling is enabled in the config.
+    pub fn sampling_enabled(&self) -> bool {
+        self.config.sampling.enabled
+    }
+
+    /// Ensures client `i` is materialized (a bounds check on eager
+    /// environments).
     ///
     /// # Errors
     ///
-    /// Returns [`FlError::UnknownClient`] for an out-of-range index.
+    /// Returns [`FlError::UnknownClient`] for an out-of-range index and
+    /// propagates shard-synthesis errors.
+    pub fn ensure_client(&mut self, i: usize) -> Result<()> {
+        let n = self.num_clients();
+        if i >= n {
+            return Err(FlError::UnknownClient {
+                client: i,
+                num_clients: n,
+            });
+        }
+        let config = self.config;
+        if let ClientStore::Lazy(l) = &mut self.store {
+            if !l.cache.contains_key(&i) {
+                let client = l.materialize(i, &config)?;
+                l.cache.insert(i, client);
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws cycle `cycle`'s cohort and materializes it, evicting
+    /// clients outside the cohort first when the spec disabled
+    /// retention. With sampling disabled the cohort is the whole
+    /// enrolled population, in id order — the pre-fleet behavior.
+    ///
+    /// The draw is a pure function of `(config.sampling, config.seed,
+    /// population, cycle)` plus the availability model, so reruns replay
+    /// the identical cohort sequence at any thread width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidRunConfig`] when sampling yields an
+    /// empty cohort (every device offline) and propagates
+    /// materialization errors.
+    pub fn select_cohort(&mut self, cycle: usize) -> Result<Vec<usize>> {
+        let sampler = ClientSampler::new(self.config.sampling, self.config.seed);
+        let cohort = sampler.cohort(self.num_clients(), cycle, &self.availability);
+        if cohort.is_empty() {
+            return Err(FlError::InvalidRunConfig {
+                what: format!("cycle {cycle} sampled an empty cohort (no available devices)"),
+            });
+        }
+        if let ClientStore::Lazy(l) = &mut self.store {
+            if !l.spec.retain_clients {
+                let keep: BTreeSet<usize> = cohort.iter().copied().collect();
+                l.cache.retain(|id, _| keep.contains(id));
+            }
+        }
+        for &i in &cohort {
+            self.ensure_client(i)?;
+        }
+        Ok(cohort)
+    }
+
+    /// Immutable client access. On a lazy fleet the client must already
+    /// be materialized (via [`FlEnv::select_cohort`],
+    /// [`FlEnv::ensure_client`], or [`FlEnv::client_mut`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::UnknownClient`] for an out-of-range index or
+    /// [`FlError::InvalidRunConfig`] for an enrolled-but-unmaterialized
+    /// lazy client.
     pub fn client(&self, i: usize) -> Result<&Client> {
-        self.clients.get(i).ok_or(FlError::UnknownClient {
-            client: i,
-            num_clients: self.clients.len(),
-        })
+        let n = self.num_clients();
+        if i >= n {
+            return Err(FlError::UnknownClient {
+                client: i,
+                num_clients: n,
+            });
+        }
+        match &self.store {
+            ClientStore::Eager(v) => v.get(i).ok_or(FlError::UnknownClient {
+                client: i,
+                num_clients: n,
+            }),
+            ClientStore::Lazy(l) => l.cache.get(&i).ok_or_else(|| FlError::InvalidRunConfig {
+                what: format!(
+                    "client {i} is enrolled but not materialized; select or ensure it first"
+                ),
+            }),
+        }
     }
 
-    /// Mutable client access.
+    /// Mutable client access; a lazy fleet materializes the client on
+    /// demand.
     ///
     /// # Errors
     ///
-    /// Returns [`FlError::UnknownClient`] for an out-of-range index.
+    /// Returns [`FlError::UnknownClient`] for an out-of-range index and
+    /// propagates materialization errors.
     pub fn client_mut(&mut self, i: usize) -> Result<&mut Client> {
-        let n = self.clients.len();
-        self.clients.get_mut(i).ok_or(FlError::UnknownClient {
+        self.ensure_client(i)?;
+        let n = self.num_clients();
+        let missing = FlError::UnknownClient {
             client: i,
             num_clients: n,
-        })
+        };
+        match &mut self.store {
+            ClientStore::Eager(v) => v.get_mut(i).ok_or(missing),
+            ClientStore::Lazy(l) => l.cache.get_mut(&i).ok_or(missing),
+        }
     }
 
-    /// Iterates the fleet.
+    /// Iterates the in-memory fleet in ascending id order: every client
+    /// for an eager environment, the materialized ones for a lazy fleet.
     pub fn clients(&self) -> impl Iterator<Item = &Client> {
-        self.clients.iter()
+        let (eager, lazy) = match &self.store {
+            ClientStore::Eager(v) => (Some(v.iter()), None),
+            ClientStore::Lazy(l) => (None, Some(l.cache.values())),
+        };
+        eager
+            .into_iter()
+            .flatten()
+            .chain(lazy.into_iter().flatten())
     }
 
-    /// Iterates the fleet mutably.
+    /// Iterates the in-memory fleet mutably (see [`FlEnv::clients`]).
     pub fn clients_mut(&mut self) -> impl Iterator<Item = &mut Client> {
-        self.clients.iter_mut()
+        let (eager, lazy) = match &mut self.store {
+            ClientStore::Eager(v) => (Some(v.iter_mut()), None),
+            ClientStore::Lazy(l) => (None, Some(l.cache.values_mut())),
+        };
+        eager
+            .into_iter()
+            .flatten()
+            .chain(lazy.into_iter().flatten())
     }
 
     /// Adds a device mid-run (the paper's §VI.C dynamic-join scenario) and
@@ -254,13 +521,24 @@ impl FlEnv {
     ///
     /// # Errors
     ///
-    /// Propagates parameter-length errors (impossible unless the dataset
+    /// Returns [`FlError::InvalidRunConfig`] on a lazy fleet with
+    /// eviction enabled (an evicted joiner would be rebuilt from the
+    /// spec's generators instead of the supplied profile/shard), and
+    /// propagates parameter-length errors (impossible unless the dataset
     /// class count disagrees with the architecture).
     pub fn join_client(&mut self, profile: ResourceProfile, shard: Dataset) -> Result<usize> {
-        let id = self.clients.len();
+        if let ClientStore::Lazy(l) = &self.store {
+            if !l.spec.retain_clients {
+                return Err(FlError::InvalidRunConfig {
+                    what: "join_client requires client retention on a lazy fleet".into(),
+                });
+            }
+        }
+        let id = self.num_clients();
         let mut rng = TensorRng::seed_from(
             self.config.seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(id as u64 + 1)),
         );
+        let client_seed = rng.next_seed();
         let mut client = Client::new(
             id,
             self.eval_net.clone(),
@@ -271,10 +549,17 @@ impl FlEnv {
             self.config.batch_size,
             self.config.local_epochs,
             self.config.workload_scale,
-            rng.split(),
+            TensorRng::seed_from(client_seed),
         );
         client.receive_global(&self.global, 0)?;
-        self.clients.push(client);
+        match &mut self.store {
+            ClientStore::Eager(v) => v.push(client),
+            ClientStore::Lazy(l) => {
+                l.spec.population += 1;
+                l.seeds.push(client_seed);
+                l.cache.insert(id, client);
+            }
+        }
         if let Some(t) = &mut self.transport {
             // The newcomer's fault/jitter stream is a pure function of
             // (run seed, device index), so a grown transport matches one
@@ -307,20 +592,30 @@ impl FlEnv {
         Ok(())
     }
 
-    /// Sends the current global model to every client, tagging it with the
-    /// producing cycle for staleness accounting.
+    /// Sends the current global model to every in-memory client, tagging
+    /// it with the producing cycle for staleness accounting.
+    ///
+    /// On a lazy fleet only materialized clients receive the broadcast —
+    /// which is equivalent to broadcasting to everyone, because
+    /// [`Client::receive_global`] fully overwrites the replica (params,
+    /// optimizer state, staleness tag) and cohort members are
+    /// materialized by [`FlEnv::select_cohort`] *before* the broadcast
+    /// phase; a device materialized in a later cycle is overwritten by
+    /// that cycle's broadcast before it trains.
     ///
     /// # Errors
     ///
     /// Propagates parameter-length errors (impossible under normal use).
     pub fn broadcast_global(&mut self, cycle: usize) -> Result<()> {
         let global = self.global.clone();
-        for c in &mut self.clients {
+        let mut devices = 0u64;
+        for c in self.clients_mut() {
             c.receive_global(&global, cycle)?;
+            devices += 1;
         }
         helios_obs::emit(|| helios_obs::TraceEvent::BroadcastSent {
             cycle: cycle as u64,
-            devices: self.clients.len() as u64,
+            devices,
         });
         Ok(())
     }
@@ -350,7 +645,7 @@ impl FlEnv {
     ///
     /// Propagates the first (in client order) training error.
     pub fn train_all(&mut self) -> Result<Vec<LocalUpdate>> {
-        let all: Vec<usize> = (0..self.clients.len()).collect();
+        let all: Vec<usize> = (0..self.num_clients()).collect();
         self.train_selected(&all)
     }
 
@@ -368,40 +663,55 @@ impl FlEnv {
     /// [`FlError::InvalidStrategyConfig`] when an id repeats, or the
     /// first (in client order) training error.
     pub fn train_selected(&mut self, participants: &[usize]) -> Result<Vec<LocalUpdate>> {
-        let n = self.clients.len();
-        let mut chosen = vec![false; n];
-        for &i in participants {
+        let n = self.num_clients();
+        // Cohort-relative bookkeeping: O(participants) state, never
+        // O(population) — a 500-device cohort over a 100k fleet must not
+        // allocate per-enrolled-device vectors.
+        let mut slot_of: HashMap<usize, usize> = HashMap::with_capacity(participants.len());
+        for (slot, &i) in participants.iter().enumerate() {
             if i >= n {
                 return Err(FlError::UnknownClient {
                     client: i,
                     num_clients: n,
                 });
             }
-            if chosen[i] {
+            if slot_of.insert(i, slot).is_some() {
                 return Err(FlError::InvalidStrategyConfig {
                     what: format!("client {i} selected twice in one cycle"),
                 });
             }
-            chosen[i] = true;
+        }
+        for &i in participants {
+            self.ensure_client(i)?;
         }
         let threads = self.config.parallelism.resolve();
-        let mut selected: Vec<&mut Client> = self
-            .clients
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(i, c)| chosen[i].then_some(c))
-            .collect();
+        let mut selected: Vec<&mut Client> = match &mut self.store {
+            ClientStore::Eager(v) => v
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, c)| slot_of.contains_key(&i).then_some(c))
+                .collect(),
+            ClientStore::Lazy(l) => l
+                .cache
+                .iter_mut()
+                .filter_map(|(i, c)| slot_of.contains_key(i).then_some(c))
+                .collect(),
+        };
         // The fan-out returns results in client-id order; errors surface
         // in that order too, matching the historical serial loops.
-        let mut by_client: Vec<Option<LocalUpdate>> = (0..n).map(|_| None).collect();
+        let mut by_slot: Vec<Option<LocalUpdate>> = (0..participants.len()).map(|_| None).collect();
         for r in map_items_mut(&mut selected, threads, |_, c| c.train_local()) {
             let u = r?;
-            let id = u.client;
-            by_client[id] = Some(u);
+            let Some(&slot) = slot_of.get(&u.client) else {
+                return Err(FlError::InvalidStrategyConfig {
+                    what: format!("unexpected update from client {}", u.client),
+                });
+            };
+            by_slot[slot] = Some(u);
         }
         let mut out = Vec::with_capacity(participants.len());
-        for &i in participants {
-            match by_client[i].take() {
+        for (slot, &i) in participants.iter().enumerate() {
+            match by_slot[slot].take() {
                 Some(u) => out.push(u),
                 None => {
                     return Err(FlError::InvalidStrategyConfig {
@@ -438,10 +748,10 @@ impl FlEnv {
     /// [`FlError::InvalidRunConfig`] when networking is disabled or the
     /// profile is invalid.
     pub fn set_link(&mut self, client: usize, link: LinkProfile) -> Result<()> {
-        if client >= self.clients.len() {
+        if client >= self.num_clients() {
             return Err(FlError::UnknownClient {
                 client,
-                num_clients: self.clients.len(),
+                num_clients: self.num_clients(),
             });
         }
         match &mut self.transport {
@@ -771,6 +1081,7 @@ mod tests {
         let cfg: FlConfig = serde_json::from_str(legacy).unwrap();
         assert!(!cfg.net.enabled);
         assert_eq!(cfg.net, NetConfig::default());
+        assert!(!cfg.sampling.enabled, "sampling defaults to disabled");
         cfg.validate().unwrap();
         // And a round-trip of the current shape preserves the section.
         let enabled = FlConfig {
@@ -837,6 +1148,115 @@ mod tests {
         let stats = routed_env.transport().unwrap().stats();
         assert!(stats.bytes_on_wire > 0);
         assert_eq!(stats.retries, 0);
+    }
+
+    fn lazy_spec(population: usize, seed: u64) -> FleetSpec {
+        FleetSpec::new(
+            population,
+            helios_device::ProfileSynthesizer::new(seed, 0.3),
+            helios_data::ShardSynthesizer::new(SyntheticVision::mnist_like(), 8, seed).unwrap(),
+        )
+    }
+
+    #[test]
+    fn lazy_env_matches_eager_twin_bitwise() {
+        let spec = lazy_spec(3, 21);
+        let test = spec.shards.test_set(40).unwrap();
+        let config = FlConfig {
+            seed: 21,
+            ..FlConfig::default()
+        };
+        // The eager twin materializes the same generators by hand.
+        let fleet: Vec<_> = (0..3).map(|i| spec.profiles.profile(i)).collect();
+        let shards: Vec<_> = (0..3).map(|i| spec.shards.shard(i).unwrap()).collect();
+        let mut eager = FlEnv::new(ModelKind::LeNet, fleet, shards, test.clone(), config).unwrap();
+        let mut lazy = FlEnv::new_lazy(ModelKind::LeNet, spec, test, config).unwrap();
+        assert!(lazy.is_lazy() && !eager.is_lazy());
+        assert_eq!(lazy.materialized_clients(), 0);
+        assert_eq!(eager.global(), lazy.global());
+        // Sampling disabled: the cohort is the whole population, and
+        // materialization reproduces the eager clients bit-for-bit.
+        let cohort = lazy.select_cohort(0).unwrap();
+        assert_eq!(cohort, vec![0, 1, 2]);
+        assert_eq!(lazy.materialized_clients(), 3);
+        for i in 0..3 {
+            let a = eager.client(i).unwrap();
+            let b = lazy.client(i).unwrap();
+            assert_eq!(a.network().param_vector(), b.network().param_vector());
+            assert_eq!(a.profile(), b.profile());
+            assert_eq!(a.cycle_time(), b.cycle_time());
+        }
+        eager.broadcast_global(0).unwrap();
+        lazy.broadcast_global(0).unwrap();
+        let eu = eager.train_all().unwrap();
+        let lu = lazy.train_all().unwrap();
+        for (a, b) in eu.iter().zip(&lu) {
+            assert_eq!(a.client, b.client);
+            let ab: Vec<u32> = a.params.iter().map(|p| p.to_bits()).collect();
+            let bb: Vec<u32> = b.params.iter().map(|p| p.to_bits()).collect();
+            assert_eq!(ab, bb, "client {} diverged", a.client);
+        }
+    }
+
+    #[test]
+    fn lazy_cohorts_materialize_and_evict_on_demand() {
+        let spec = lazy_spec(50, 13).evict_unsampled();
+        let test = spec.shards.test_set(20).unwrap();
+        let config = FlConfig {
+            seed: 13,
+            sampling: SamplerConfig::uniform(4),
+            ..FlConfig::default()
+        };
+        let mut env = FlEnv::new_lazy(ModelKind::LeNet, spec, test, config).unwrap();
+        assert_eq!(env.num_clients(), 50);
+        let c0 = env.select_cohort(0).unwrap();
+        assert_eq!(c0.len(), 4);
+        assert_eq!(env.materialized_clients(), 4);
+        // Unmaterialized enrolled devices are distinguishable from
+        // out-of-range ids.
+        let outside = (0..50).find(|i| !c0.contains(i)).unwrap();
+        assert!(matches!(
+            env.client(outside),
+            Err(FlError::InvalidRunConfig { .. })
+        ));
+        assert!(matches!(env.client(99), Err(FlError::UnknownClient { .. })));
+        // Eviction caps the cache at O(cohort) across cycles.
+        let c1 = env.select_cohort(1).unwrap();
+        assert_ne!(c0, c1);
+        assert_eq!(env.materialized_clients(), 4);
+        assert!(c1.iter().all(|&i| env.client(i).is_ok()));
+        // Selection replays bitwise on a fresh twin.
+        let spec = lazy_spec(50, 13).evict_unsampled();
+        let test = spec.shards.test_set(20).unwrap();
+        let mut twin = FlEnv::new_lazy(ModelKind::LeNet, spec, test, config).unwrap();
+        assert_eq!(twin.select_cohort(0).unwrap(), c0);
+        assert_eq!(twin.select_cohort(1).unwrap(), c1);
+    }
+
+    #[test]
+    fn lazy_join_requires_retention() {
+        let mut rng = TensorRng::seed_from(3);
+        let (extra, _) = SyntheticVision::mnist_like()
+            .generate(16, 0, &mut rng)
+            .unwrap();
+        let spec = lazy_spec(4, 5).evict_unsampled();
+        let test = spec.shards.test_set(20).unwrap();
+        let mut env = FlEnv::new_lazy(ModelKind::LeNet, spec, test, FlConfig::default()).unwrap();
+        assert!(matches!(
+            env.join_client(presets::raspberry_pi(), extra.clone()),
+            Err(FlError::InvalidRunConfig { .. })
+        ));
+        // With retention the newcomer joins and starts from the global.
+        let spec = lazy_spec(4, 5);
+        let test = spec.shards.test_set(20).unwrap();
+        let mut env = FlEnv::new_lazy(ModelKind::LeNet, spec, test, FlConfig::default()).unwrap();
+        let id = env.join_client(presets::raspberry_pi(), extra).unwrap();
+        assert_eq!(id, 4);
+        assert_eq!(env.num_clients(), 5);
+        assert_eq!(
+            env.client(id).unwrap().network().param_vector(),
+            env.global()
+        );
     }
 
     #[test]

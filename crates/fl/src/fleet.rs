@@ -1,0 +1,180 @@
+//! Fleet-scale population description for lazily instantiated devices.
+//!
+//! A [`FleetSpec`] describes an enrolled population without storing any
+//! of it: profiles, shards, and availability are all pure functions of
+//! `(base_seed, device_index)`, so a 100k-device fleet costs a few
+//! hundred bytes until devices are actually sampled. [`crate::FlEnv`]
+//! consumes a spec via `FlEnv::new_lazy` and materializes clients on
+//! demand.
+
+use helios_data::ShardSynthesizer;
+use helios_device::fleet::{mix64, unit_from_bits, ProfileSynthesizer};
+use serde::{Deserialize, Serialize};
+
+/// Golden-ratio multiplier used across the workspace for index mixing.
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+/// Domain-separation tag for the availability stream ("AVLB").
+const AVAIL_STREAM: u64 = 0x4156_4c42;
+
+/// Per-device participation propensity, pure in `(base_seed, index)`.
+///
+/// A fixed fraction of the population is permanently offline
+/// (availability exactly `0.0` — the weighted sampler must never select
+/// them); the rest get an individual availability in `(0, 1)`. The
+/// always-on model (`offline_fraction == 0`) reports `1.0` for every
+/// device and is the default for eager environments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityModel {
+    base_seed: u64,
+    offline_fraction: f64,
+}
+
+impl AvailabilityModel {
+    /// Every device is always available (availability `1.0`).
+    #[must_use]
+    pub fn always_on() -> Self {
+        AvailabilityModel {
+            base_seed: 0,
+            offline_fraction: 0.0,
+        }
+    }
+
+    /// A population where `offline_fraction` of devices never
+    /// participate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offline_fraction` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(base_seed: u64, offline_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&offline_fraction),
+            "offline fraction must be in [0, 1], got {offline_fraction}"
+        );
+        AvailabilityModel {
+            base_seed,
+            offline_fraction,
+        }
+    }
+
+    /// Availability weight of `device` in `[0, 1]`; exactly `0.0` for
+    /// permanently offline devices. Pure in `(base_seed, device)`.
+    #[must_use]
+    pub fn availability(&self, device: usize) -> f64 {
+        if self.offline_fraction == 0.0 {
+            return 1.0;
+        }
+        let h = mix64(self.base_seed ^ AVAIL_STREAM ^ GOLDEN.wrapping_mul(device as u64 + 1));
+        let u = unit_from_bits(h);
+        if u < self.offline_fraction {
+            0.0
+        } else {
+            // Rescale the surviving mass to (0, 1].
+            (u - self.offline_fraction) / (1.0 - self.offline_fraction)
+        }
+    }
+}
+
+/// An enrolled device population, described but not materialized.
+///
+/// Bundles the three per-device pure generators — compute profile, data
+/// shard, availability — plus the population size and the cache policy
+/// the lazy environment applies to instantiated clients.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of enrolled devices.
+    pub population: usize,
+    /// On-demand compute/memory/network profile generator.
+    pub profiles: ProfileSynthesizer,
+    /// On-demand data shard generator.
+    pub shards: ShardSynthesizer,
+    /// Per-device participation propensity for weighted sampling.
+    pub availability: AvailabilityModel,
+    /// When `false`, clients outside the current cohort are evicted at
+    /// each selection, capping live state at O(cohort) — the fleet
+    /// bench's memory contract. When `true` (the default), instantiated
+    /// clients persist for the whole run, which the lazy-vs-eager
+    /// bitwise-equivalence guarantee requires for strategies that revisit
+    /// devices across cycles.
+    pub retain_clients: bool,
+}
+
+impl FleetSpec {
+    /// A spec with every device always available and client retention on.
+    #[must_use]
+    pub fn new(population: usize, profiles: ProfileSynthesizer, shards: ShardSynthesizer) -> Self {
+        FleetSpec {
+            population,
+            profiles,
+            shards,
+            availability: AvailabilityModel::always_on(),
+            retain_clients: true,
+        }
+    }
+
+    /// Replaces the availability model.
+    #[must_use]
+    pub fn with_availability(mut self, availability: AvailabilityModel) -> Self {
+        self.availability = availability;
+        self
+    }
+
+    /// Evict clients outside the current cohort at each selection,
+    /// keeping live state O(cohort) instead of O(devices ever sampled).
+    #[must_use]
+    pub fn evict_unsampled(mut self) -> Self {
+        self.retain_clients = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_data::SyntheticVision;
+
+    #[test]
+    fn always_on_reports_unit_availability() {
+        let m = AvailabilityModel::always_on();
+        assert!((0..1000).all(|i| m.availability(i) == 1.0));
+    }
+
+    #[test]
+    fn availability_is_pure_and_offline_fraction_holds() {
+        let m = AvailabilityModel::new(9, 0.25);
+        let n = 4000;
+        let offline = (0..n).filter(|&i| m.availability(i) == 0.0).count();
+        let rate = offline as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "offline rate {rate}");
+        for i in [0usize, 17, 3999] {
+            assert_eq!(m.availability(i).to_bits(), m.availability(i).to_bits());
+            assert!((0.0..=1.0).contains(&m.availability(i)));
+        }
+    }
+
+    #[test]
+    fn fully_offline_population_has_no_available_devices() {
+        let m = AvailabilityModel::new(1, 1.0);
+        assert!((0..256).all(|i| m.availability(i) == 0.0));
+    }
+
+    #[test]
+    fn spec_builders_compose() {
+        let spec = FleetSpec::new(
+            100_000,
+            ProfileSynthesizer::new(3, 0.3),
+            ShardSynthesizer::new(SyntheticVision::mnist_like(), 8, 3).unwrap(),
+        )
+        .with_availability(AvailabilityModel::new(3, 0.2))
+        .evict_unsampled();
+        assert_eq!(spec.population, 100_000);
+        assert!(!spec.retain_clients);
+        assert!(spec.availability.availability(0) <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offline fraction")]
+    fn rejects_bad_offline_fraction() {
+        let _ = AvailabilityModel::new(0, -0.1);
+    }
+}

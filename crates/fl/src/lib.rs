@@ -72,8 +72,10 @@ mod client;
 mod driver;
 mod env;
 mod error;
+pub mod fleet;
 mod metrics;
 mod random_partial;
+pub mod sampler;
 mod server;
 mod strategy;
 mod sync;
@@ -83,9 +85,11 @@ pub use client::{Client, LocalUpdate, DEFAULT_MEMORY_SCALE, GRAD_CLIP_NORM};
 pub use driver::{fedavg_into_global, RoundDriver, RoundPolicy};
 pub use env::{FlConfig, FlEnv, RoutedCycle};
 pub use error::FlError;
+pub use fleet::{AvailabilityModel, FleetSpec};
 pub use metrics::{PhaseBreakdown, RoundRecord, RunMetrics, RunProfile};
 pub use random_partial::{random_mask, RandomPartial};
-pub use server::{aggregate, cycle_comm_bytes, MaskedUpdate};
+pub use sampler::{ClientSampler, SamplerConfig, SamplingStrategy};
+pub use server::{aggregate, cycle_comm_bytes, MaskedUpdate, OnlineAggregator};
 pub use strategy::Strategy;
 pub use sync::SyncFedAvg;
 

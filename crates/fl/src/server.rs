@@ -61,47 +61,124 @@ pub struct MaskedUpdate<'a> {
 /// assert_eq!(global, vec![2.0, 10.0]); // index 1 untouched
 /// ```
 pub fn aggregate(global: &mut [f32], updates: &[MaskedUpdate<'_>]) {
+    let mut acc = OnlineAggregator::new(global.len());
     for u in updates {
+        acc.push(u);
+    }
+    acc.finish_into(global);
+}
+
+/// Streaming weighted aggregation: consumes one [`MaskedUpdate`] at a
+/// time and holds only the running accumulator — O(model) server memory
+/// regardless of cohort size, where collect-then-average holds
+/// O(participants · model).
+///
+/// Pushing updates in order and then finishing is **bitwise identical**
+/// to [`aggregate`] over the same sequence: both perform the same
+/// per-update `f64` fold in the same order, and [`aggregate`] is in fact
+/// implemented on top of this type.
+///
+/// # Example
+///
+/// ```
+/// use helios_fl::{aggregate, MaskedUpdate, OnlineAggregator};
+///
+/// let updates = [
+///     MaskedUpdate { params: &[2.0, 2.0], param_mask: None, weight: 1.0 },
+///     MaskedUpdate { params: &[6.0, 6.0], param_mask: None, weight: 3.0 },
+/// ];
+/// let mut batch = vec![0.0f32, 10.0];
+/// aggregate(&mut batch, &updates);
+///
+/// let mut acc = OnlineAggregator::new(2);
+/// for u in &updates {
+///     acc.push(u); // one update at a time — nothing else retained
+/// }
+/// let mut streamed = vec![0.0f32, 10.0];
+/// acc.finish_into(&mut streamed);
+/// assert_eq!(streamed, batch);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineAggregator {
+    acc: Vec<f64>,
+    wsum: Vec<f64>,
+    updates: usize,
+}
+
+impl OnlineAggregator {
+    /// Creates an accumulator for a model of `model_len` parameters.
+    #[must_use]
+    pub fn new(model_len: usize) -> Self {
+        OnlineAggregator {
+            acc: vec![0.0f64; model_len],
+            wsum: vec![0.0f64; model_len],
+            updates: 0,
+        }
+    }
+
+    /// Number of updates folded in so far.
+    #[must_use]
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Folds one contribution into the running accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the update's `params` (or mask) length differs from the
+    /// model length, or its weight is negative/non-finite — both indicate
+    /// programming errors in the calling strategy.
+    pub fn push(&mut self, u: &MaskedUpdate<'_>) {
+        let n = self.acc.len();
         assert_eq!(
             u.params.len(),
-            global.len(),
+            n,
             "update length {} vs global {}",
             u.params.len(),
-            global.len()
+            n
         );
         if let Some(m) = u.param_mask {
-            assert_eq!(m.len(), global.len(), "mask length mismatch");
+            assert_eq!(m.len(), n, "mask length mismatch");
         }
         assert!(
             u.weight.is_finite() && u.weight >= 0.0,
             "weight must be non-negative and finite, got {}",
             u.weight
         );
-    }
-    let n = global.len();
-    let mut acc = vec![0.0f64; n];
-    let mut wsum = vec![0.0f64; n];
-    for u in updates {
         match u.param_mask {
             None => {
                 for i in 0..n {
-                    acc[i] += u.weight * u.params[i] as f64;
-                    wsum[i] += u.weight;
+                    self.acc[i] += u.weight * u.params[i] as f64;
+                    self.wsum[i] += u.weight;
                 }
             }
             Some(mask) => {
-                for i in 0..n {
-                    if mask[i] {
-                        acc[i] += u.weight * u.params[i] as f64;
-                        wsum[i] += u.weight;
+                for (i, &covered) in mask.iter().enumerate() {
+                    if covered {
+                        self.acc[i] += u.weight * u.params[i] as f64;
+                        self.wsum[i] += u.weight;
                     }
                 }
             }
         }
+        self.updates += 1;
     }
-    for i in 0..n {
-        if wsum[i] > 0.0 {
-            global[i] = (acc[i] / wsum[i]) as f32;
+
+    /// Writes the weighted means into `global`; indices no pushed update
+    /// covered keep their previous global value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global.len()` differs from the accumulator's model
+    /// length.
+    pub fn finish_into(self, global: &mut [f32]) {
+        let n = self.acc.len();
+        assert_eq!(global.len(), n, "global length {} vs {}", global.len(), n);
+        for (i, g) in global.iter_mut().enumerate() {
+            if self.wsum[i] > 0.0 {
+                *g = (self.acc[i] / self.wsum[i]) as f32;
+            }
         }
     }
 }
@@ -221,6 +298,64 @@ mod tests {
         let mut global = vec![3.0f32, 4.0];
         aggregate(&mut global, &[]);
         assert_eq!(global, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn streaming_matches_collect_then_average_bitwise() {
+        // Random masked/weighted update sets, including "dropped" subsets:
+        // pushing one update at a time must reproduce the batch fold
+        // bit-for-bit.
+        use helios_tensor::TensorRng;
+        let mut rng = TensorRng::seed_from(0x5354_5245);
+        for case in 0..200 {
+            let n = 1 + rng.below(40);
+            let mut global: Vec<f32> = (0..n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+            let num_updates = rng.below(6);
+            let storage: Vec<(Vec<f32>, Option<Vec<bool>>, f64)> = (0..num_updates)
+                .map(|_| {
+                    let params: Vec<f32> = (0..n).map(|_| rng.uniform(-3.0, 3.0)).collect();
+                    let mask = if rng.unit_f64() < 0.5 {
+                        Some((0..n).map(|_| rng.unit_f64() < 0.6).collect())
+                    } else {
+                        None
+                    };
+                    // Simulate a dropped update now and then via weight 0.
+                    let weight = if rng.unit_f64() < 0.2 {
+                        0.0
+                    } else {
+                        rng.unit_f64() * 10.0
+                    };
+                    (params, mask, weight)
+                })
+                .collect();
+            let updates: Vec<MaskedUpdate<'_>> = storage
+                .iter()
+                .map(|(p, m, w)| MaskedUpdate {
+                    params: p,
+                    param_mask: m.as_deref(),
+                    weight: *w,
+                })
+                .collect();
+            let mut batch = global.clone();
+            aggregate(&mut batch, &updates);
+            let mut acc = OnlineAggregator::new(n);
+            for u in &updates {
+                acc.push(u);
+            }
+            assert_eq!(acc.updates(), updates.len());
+            acc.finish_into(&mut global);
+            let batch_bits: Vec<u32> = batch.iter().map(|x| x.to_bits()).collect();
+            let stream_bits: Vec<u32> = global.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(batch_bits, stream_bits, "case {case} diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "global length")]
+    fn finish_into_rejects_wrong_length() {
+        let acc = OnlineAggregator::new(3);
+        let mut global = vec![0.0f32; 2];
+        acc.finish_into(&mut global);
     }
 
     #[test]

@@ -154,27 +154,57 @@ pub fn resource_based_env(env: &FlEnv, slowdown_threshold: f64) -> Result<Vec<us
 ///
 /// Same conditions as [`resource_based`].
 pub fn resource_based_combined(env: &FlEnv, slowdown_threshold: f64) -> Result<Vec<usize>> {
+    let cohort: Vec<usize> = (0..env.num_clients()).collect();
+    resource_based_combined_cohort(env, &cohort, slowdown_threshold)
+}
+
+/// [`resource_based_combined`] restricted to a sampled cohort: combined
+/// `compute + comm` time is evaluated only for the cohort's members
+/// (slowdown measured against the fastest *cohort* device), so a
+/// 100k-device fleet is classified at O(cohort) cost and unmaterialized
+/// devices are never touched. The reference workload is the first cohort
+/// member's full-model cycle workload. Returns absolute client ids, in
+/// cohort order. Over the full fleet this is exactly
+/// [`resource_based_combined`].
+///
+/// # Errors
+///
+/// Same conditions as [`resource_based`], applied to the cohort, plus an
+/// [`HeliosError::Identification`] for an empty cohort.
+pub fn resource_based_combined_cohort(
+    env: &FlEnv,
+    cohort: &[usize],
+    slowdown_threshold: f64,
+) -> Result<Vec<usize>> {
     if !(slowdown_threshold > 1.0 && slowdown_threshold.is_finite()) {
         return Err(HeliosError::Identification {
             what: format!("slowdown threshold {slowdown_threshold} must exceed 1"),
         });
     }
-    let workload = env.client(0).map_err(HeliosError::from)?.cycle_workload();
-    let mut times = Vec::with_capacity(env.num_clients());
-    for i in 0..env.num_clients() {
+    let Some(&reference) = cohort.first() else {
+        return Err(HeliosError::Identification {
+            what: "empty cohort".into(),
+        });
+    };
+    let workload = env
+        .client(reference)
+        .map_err(HeliosError::from)?
+        .cycle_workload();
+    let mut times = Vec::with_capacity(cohort.len());
+    for &i in cohort {
         let client = env.client(i).map_err(HeliosError::from)?;
         let compute = CostModel::time_for(client.profile(), &workload);
         let comm = env.comm_overhead(i).map_err(HeliosError::from)?;
         times.push((compute + comm).as_secs_f64());
     }
     let fastest = times.iter().copied().fold(f64::INFINITY, f64::min);
-    let stragglers: Vec<usize> = times
+    let stragglers: Vec<usize> = cohort
         .iter()
-        .enumerate()
+        .zip(&times)
         .filter(|(_, &t)| t > slowdown_threshold * fastest)
-        .map(|(i, _)| i)
+        .map(|(&i, _)| i)
         .collect();
-    if stragglers.len() == env.num_clients() {
+    if stragglers.len() == cohort.len() {
         return Err(HeliosError::Identification {
             what: "every device classified as straggler".into(),
         });
@@ -252,6 +282,23 @@ mod tests {
         let same = presets::jetson_nano();
         let ids = resource_based(&[&capable, &same], &work, 1.5).unwrap();
         assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn cohort_identification_matches_full_fleet_on_subsets() {
+        let e = env(2, 2);
+        let full = resource_based_combined(&e, 1.5).unwrap();
+        assert_eq!(full, vec![2, 3]);
+        // A cohort holding one capable + one straggler flags only the
+        // straggler, measured against the cohort's own fastest device.
+        assert_eq!(
+            resource_based_combined_cohort(&e, &[1, 3], 1.5).unwrap(),
+            vec![3]
+        );
+        // The whole-fleet wrapper is exactly the full-cohort call.
+        let all: Vec<usize> = (0..4).collect();
+        assert_eq!(resource_based_combined_cohort(&e, &all, 1.5).unwrap(), full);
+        assert!(resource_based_combined_cohort(&e, &[], 1.5).is_err());
     }
 
     #[test]

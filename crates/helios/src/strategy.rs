@@ -4,10 +4,10 @@
 use crate::softtrain::{contributions_from_delta, Contributions, SoftTrainer};
 use crate::{aggregation, identify, target, HeliosError, Result};
 use helios_device::SimTime;
-use helios_fl::{aggregate, FlEnv, MaskedUpdate, RoundPolicy, RoutedCycle};
+use helios_fl::{FlEnv, MaskedUpdate, OnlineAggregator, RoundPolicy, RoutedCycle};
 use helios_nn::ModelMask;
 use helios_tensor::TensorRng;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// How stragglers are identified (§IV.B).
 #[derive(Debug, Clone, PartialEq)]
@@ -141,6 +141,15 @@ pub struct HeliosStrategy {
     /// (delivered vs missed). Observing optimistically at issue time
     /// would reset counters for units that never actually contributed.
     issued_masks: HashMap<usize, ModelMask>,
+    /// Incremental (sampled-cohort) mode: classification happens per
+    /// cohort instead of over the full fleet at `begin_run`.
+    incremental: bool,
+    /// Devices already classified in incremental mode — never
+    /// re-profiled when re-sampled.
+    classified: BTreeSet<usize>,
+    /// The most recent cohort, driving the cohort-relative
+    /// dynamic-volume pass in incremental mode.
+    last_cohort: Vec<usize>,
 }
 
 impl HeliosStrategy {
@@ -155,6 +164,9 @@ impl HeliosStrategy {
             initialized: false,
             received_global: Vec::new(),
             issued_masks: HashMap::new(),
+            incremental: false,
+            classified: BTreeSet::new(),
+            last_cohort: Vec::new(),
         }
     }
 
@@ -274,6 +286,18 @@ impl HeliosStrategy {
             });
         }
         let id = env.join_client(profile, shard).map_err(HeliosError::from)?;
+        self.classify_device(env, id)?;
+        Ok(id)
+    }
+
+    /// Classifies one device against the established capable pace (the
+    /// §VI.C admission rule, also applied to devices first sampled after
+    /// the initial cohort): a device slower than `1.05 × deadline`
+    /// becomes a straggler with a fitted volume and its own
+    /// device-keyed RNG stream, so classification order never affects
+    /// the draw sequence.
+    fn classify_device(&mut self, env: &mut FlEnv, id: usize) -> Result<()> {
+        self.classified.insert(id);
         let full_time = env.combined_cycle_time(id)?;
         if full_time.as_secs_f64() > 1.05 * self.deadline.as_secs_f64() {
             let keep = match &self.config.volume {
@@ -296,7 +320,84 @@ impl HeliosStrategy {
             self.stragglers.push(id);
             self.stragglers.sort_unstable();
         }
-        Ok(id)
+        Ok(())
+    }
+
+    /// Incremental-mode classification of a sampled cohort.
+    ///
+    /// The first cohort establishes the run's reference frame entirely
+    /// cohort-relatively — stragglers via
+    /// [`identify::resource_based_combined_cohort`], the deadline as the
+    /// slowest *capable cohort member*, volumes fitted against it — at
+    /// O(cohort) cost, never touching unmaterialized devices. Devices
+    /// first sampled in later cohorts are measured against that
+    /// established pace (`1.05 × deadline`, the admission rule); devices
+    /// re-sampled later keep their classification and trainer state.
+    fn classify_cohort(&mut self, env: &mut FlEnv, cohort: &[usize]) -> Result<()> {
+        if !self.initialized {
+            // First cohort: cohort-relative identification + deadline.
+            let slowdown = match &self.config.identification {
+                Identification::ResourceBased { slowdown_threshold } => *slowdown_threshold,
+                Identification::TimeBased { .. } => {
+                    // begin_run rejects this combination; defensive here.
+                    return Err(HeliosError::InvalidConfig {
+                        what: "time-based identification cannot run on sampled cohorts".into(),
+                    });
+                }
+            };
+            let mut ranked = identify::resource_based_combined_cohort(env, cohort, slowdown)?;
+            let mut times: Vec<(usize, f64)> = Vec::with_capacity(ranked.len());
+            for &i in &ranked {
+                times.push((i, env.combined_cycle_time(i)?.as_secs_f64()));
+            }
+            times.sort_by(|a, b| b.1.total_cmp(&a.1));
+            ranked = times.into_iter().map(|(i, _)| i).collect();
+            let mut deadline = SimTime::ZERO;
+            for &i in cohort {
+                if !ranked.contains(&i) {
+                    deadline = deadline.max(env.combined_cycle_time(i)?);
+                }
+            }
+            self.deadline = deadline;
+            let volumes: Vec<(usize, f64)> = match &self.config.volume {
+                VolumePolicy::Predefined(levels) => target::assign_predefined(&ranked, levels)?,
+                VolumePolicy::ResourceFitted => {
+                    let mut out = Vec::with_capacity(ranked.len());
+                    for &i in &ranked {
+                        let budget =
+                            target::comm_adjusted_deadline(deadline, env.comm_overhead(i)?);
+                        let keep = target::fitted_keep_ratio(env.client_mut(i)?, budget)?;
+                        out.push((i, keep));
+                    }
+                    out
+                }
+            };
+            for (client, keep) in volumes {
+                let units = env.client_mut(client)?.network_mut().maskable_units();
+                let trainer = SoftTrainer::new(
+                    units,
+                    keep,
+                    self.config.p_s,
+                    self.config.regulation,
+                    // Device-keyed stream (not a shared split chain): the
+                    // same device gets the same stream regardless of
+                    // which cohort first surfaced it.
+                    TensorRng::seed_from(env.config().seed ^ (client as u64) << 8),
+                )?;
+                self.trainers.insert(client, trainer);
+            }
+            self.stragglers = ranked;
+            self.stragglers.sort_unstable();
+            self.classified.extend(cohort.iter().copied());
+            self.initialized = true;
+            return Ok(());
+        }
+        for &i in cohort {
+            if !self.classified.contains(&i) {
+                self.classify_device(env, i)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -316,7 +417,37 @@ impl RoundPolicy for HeliosStrategy {
     }
 
     fn begin_run(&mut self, env: &mut FlEnv) -> helios_fl::Result<()> {
+        if env.sampling_enabled() {
+            if matches!(self.config.identification, Identification::TimeBased { .. }) {
+                return Err(to_fl_error(HeliosError::InvalidConfig {
+                    what: "time-based identification benches the full fleet; \
+                           use ResourceBased identification with cohort sampling"
+                        .into(),
+                }));
+            }
+            self.config.validate().map_err(to_fl_error)?;
+            // Classification is deferred to the first sampled cohort.
+            self.incremental = true;
+            return Ok(());
+        }
+        // Full-fleet path: a lazy environment without sampling is
+        // materialized up front (identification profiles every device).
+        for i in 0..env.num_clients() {
+            env.ensure_client(i)?;
+        }
         self.initialize(env).map_err(to_fl_error)
+    }
+
+    /// Draws the cycle's cohort via [`FlEnv::select_cohort`]; in
+    /// incremental mode, newly sampled devices are classified against
+    /// the established capable pace before training begins.
+    fn select(&mut self, env: &mut FlEnv, cycle: usize) -> helios_fl::Result<Vec<usize>> {
+        let cohort = env.select_cohort(cycle)?;
+        if self.incremental {
+            self.classify_cohort(env, &cohort).map_err(to_fl_error)?;
+            self.last_cohort = cohort.clone();
+        }
+        Ok(cohort)
     }
 
     fn broadcast(
@@ -421,10 +552,13 @@ impl RoundPolicy for HeliosStrategy {
         };
         let masked_upload = self.config.aggregation == AggregationMode::MaskedWeighted;
         let mut global = env.global().to_vec();
-        let masked: Vec<MaskedUpdate<'_>> = updates
-            .iter()
-            .zip(&weights)
-            .map(|(u, &w)| MaskedUpdate {
+        // Stream the fold: one update at a time through the online
+        // accumulator (bitwise identical to collect-then-average, which
+        // is built on the same primitive) — O(model) server state even
+        // for fleet-scale cohorts.
+        let mut acc = OnlineAggregator::new(global.len());
+        for (u, &w) in updates.iter().zip(&weights) {
+            acc.push(&MaskedUpdate {
                 params: &u.params,
                 param_mask: if masked_upload {
                     u.param_mask.as_deref()
@@ -432,9 +566,9 @@ impl RoundPolicy for HeliosStrategy {
                     None
                 },
                 weight: w,
-            })
-            .collect();
-        aggregate(&mut global, &masked);
+            });
+        }
+        acc.finish_into(&mut global);
         env.set_global(global)
     }
 
@@ -446,6 +580,20 @@ impl RoundPolicy for HeliosStrategy {
             return Ok(());
         }
         let deadline = self.deadline;
+        if self.incremental {
+            // Cohort-relative: only this cycle's participants were
+            // observed (and only they are guaranteed materialized).
+            for &i in &self.last_cohort {
+                if let Some(trainer) = self.trainers.get_mut(&i) {
+                    let masked_time = env.combined_cycle_time(i)?;
+                    let next = target::adjust_keep_ratio(trainer.keep(), masked_time, deadline);
+                    if (next - trainer.keep()).abs() > 1e-9 {
+                        trainer.set_keep(next).map_err(to_fl_error)?;
+                    }
+                }
+            }
+            return Ok(());
+        }
         for i in 0..env.num_clients() {
             if let Some(trainer) = self.trainers.get_mut(&i) {
                 let masked_time = env.combined_cycle_time(i)?;
@@ -631,6 +779,64 @@ mod tests {
         // The enlarged fleet still runs.
         let m = h.run(&mut e, 2).unwrap();
         assert_eq!(m.records().last().unwrap().participants, 4);
+    }
+
+    fn lazy_env(population: usize, seed: u64, sampling: helios_fl::SamplerConfig) -> FlEnv {
+        let spec = helios_fl::FleetSpec::new(
+            population,
+            helios_device::ProfileSynthesizer::new(seed, 0.5),
+            helios_data::ShardSynthesizer::new(SyntheticVision::mnist_like(), 8, seed).unwrap(),
+        );
+        let test = spec.shards.test_set(40).unwrap();
+        FlEnv::new_lazy(
+            ModelKind::LeNet,
+            spec,
+            test,
+            FlConfig {
+                seed,
+                sampling,
+                ..FlConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sampled_cohorts_classify_incrementally_and_deterministically() {
+        let sampling = helios_fl::SamplerConfig::uniform(6);
+        let mut a = lazy_env(16, 81, sampling);
+        let mut b = lazy_env(16, 81, sampling);
+        let mut ha = HeliosStrategy::new(HeliosConfig::default());
+        let mut hb = HeliosStrategy::new(HeliosConfig::default());
+        let ma = ha.run(&mut a, 3).unwrap();
+        let mb = hb.run(&mut b, 3).unwrap();
+        assert_eq!(ma.records(), mb.records(), "sampled runs must replay");
+        for r in ma.records() {
+            assert_eq!(r.participants, 6, "every cycle trains the cohort");
+        }
+        // Stragglers identified on the sampled cohorts carry shrunken
+        // volumes; capable cohort members carry none.
+        assert!(!ha.stragglers().is_empty(), "mixed cohort has stragglers");
+        for &s in ha.stragglers() {
+            let keep = ha.keep_ratio(s).unwrap();
+            assert!(keep < 1.0, "straggler {s} keep {keep}");
+        }
+        // Only sampled devices were ever instantiated.
+        assert!(a.materialized_clients() < 16);
+    }
+
+    #[test]
+    fn time_based_identification_rejected_with_sampling() {
+        let mut e = lazy_env(16, 82, helios_fl::SamplerConfig::uniform(6));
+        let mut h = HeliosStrategy::new(HeliosConfig {
+            identification: Identification::TimeBased {
+                iterations: 2,
+                top_k: 2,
+            },
+            ..HeliosConfig::default()
+        });
+        let err = h.run(&mut e, 1);
+        assert!(err.is_err(), "time-based + sampling must be rejected");
     }
 
     #[test]

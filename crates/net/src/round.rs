@@ -207,7 +207,7 @@ mod tests {
         // The server waited until the deadline for the latecomer.
         assert_eq!(out.span.as_secs_f64(), 4.0);
         assert_eq!(t.stats().timeouts, 1);
-        assert_eq!(t.device_stats()[1].missed_cycles, 1);
+        assert_eq!(t.device_stats(1).missed_cycles, 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use helios_device::SimTime;
 use helios_obs::TraceEvent;
 use helios_tensor::TensorRng;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Whether a message travels server→device or device→server (statistics
 /// bookkeeping only; links are symmetric).
@@ -103,15 +104,24 @@ pub struct Transmission {
 /// Faults never panic: a message that exhausts its retries is reported
 /// as undelivered and the round layer degrades it to "client missed
 /// this cycle".
+///
+/// Per-device state is **sparse**: a device's RNG stream is created on
+/// its first transmission from `device_seed(base_seed, index)` — a pure
+/// function of the device index — and link overrides / traffic counters
+/// are stored only for devices that diverge from the defaults. A
+/// 100k-device fleet therefore costs O(sampled devices), not
+/// O(population), while remaining bitwise identical to an eagerly
+/// constructed transport for any traffic order.
 #[derive(Debug, Clone)]
 pub struct SimTransport {
-    links: Vec<LinkProfile>,
+    num_devices: usize,
+    link_overrides: BTreeMap<usize, LinkProfile>,
     faults: FaultConfig,
     max_retries: u32,
     retry_backoff_s: f64,
-    rngs: Vec<TensorRng>,
+    rngs: BTreeMap<usize, TensorRng>,
     stats: TransportStats,
-    device_stats: Vec<DeviceStats>,
+    device_stats: BTreeMap<usize, DeviceStats>,
     base_seed: u64,
     default_link: LinkProfile,
 }
@@ -131,37 +141,43 @@ impl SimTransport {
     /// validation.
     pub fn new(num_devices: usize, config: &NetConfig, seed: u64) -> Result<Self, NetError> {
         config.validate()?;
-        let mut t = SimTransport {
-            links: Vec::new(),
+        Ok(SimTransport {
+            num_devices,
+            link_overrides: BTreeMap::new(),
             faults: config.faults,
             max_retries: config.max_retries,
             retry_backoff_s: config.retry_backoff_s,
-            rngs: Vec::new(),
+            rngs: BTreeMap::new(),
             stats: TransportStats::default(),
-            device_stats: Vec::new(),
+            device_stats: BTreeMap::new(),
             base_seed: seed,
             default_link: config.link,
-        };
-        for _ in 0..num_devices {
-            t.add_device();
-        }
-        Ok(t)
+        })
     }
 
     /// Registers one more device on the default link and returns its
-    /// index (used when a device joins mid-run).
+    /// index (used when a device joins mid-run). O(1): per-device state
+    /// stays unmaterialized until the device sees traffic.
     pub fn add_device(&mut self) -> usize {
-        let device = self.links.len();
-        self.links.push(self.default_link);
-        self.rngs
-            .push(TensorRng::seed_from(device_seed(self.base_seed, device)));
-        self.device_stats.push(DeviceStats::default());
+        let device = self.num_devices;
+        self.num_devices += 1;
         device
     }
 
     /// Number of registered devices.
     pub fn num_devices(&self) -> usize {
-        self.links.len()
+        self.num_devices
+    }
+
+    /// Number of devices with materialized per-device state (RNG stream,
+    /// link override, or traffic counters) — the transport's actual
+    /// footprint, which the fleet bench asserts stays O(sampled), not
+    /// O(population).
+    pub fn touched_devices(&self) -> usize {
+        let mut touched: std::collections::BTreeSet<usize> = self.rngs.keys().copied().collect();
+        touched.extend(self.link_overrides.keys());
+        touched.extend(self.device_stats.keys());
+        touched.len()
     }
 
     /// The link profile of `device`.
@@ -170,10 +186,16 @@ impl SimTransport {
     ///
     /// Returns [`NetError::UnknownDevice`] for an out-of-range index.
     pub fn link(&self, device: usize) -> Result<&LinkProfile, NetError> {
-        self.links.get(device).ok_or(NetError::UnknownDevice {
-            device,
-            num_devices: self.links.len(),
-        })
+        if device >= self.num_devices {
+            return Err(NetError::UnknownDevice {
+                device,
+                num_devices: self.num_devices,
+            });
+        }
+        Ok(self
+            .link_overrides
+            .get(&device)
+            .unwrap_or(&self.default_link))
     }
 
     /// Replaces the link profile of `device`.
@@ -184,12 +206,13 @@ impl SimTransport {
     /// [`NetError::InvalidConfig`] for an invalid profile.
     pub fn set_link(&mut self, device: usize, link: LinkProfile) -> Result<(), NetError> {
         link.validate()?;
-        let n = self.links.len();
-        let slot = self.links.get_mut(device).ok_or(NetError::UnknownDevice {
-            device,
-            num_devices: n,
-        })?;
-        *slot = link;
+        if device >= self.num_devices {
+            return Err(NetError::UnknownDevice {
+                device,
+                num_devices: self.num_devices,
+            });
+        }
+        self.link_overrides.insert(device, link);
         Ok(())
     }
 
@@ -198,17 +221,18 @@ impl SimTransport {
         &self.stats
     }
 
-    /// Per-device traffic statistics, indexed by device.
-    pub fn device_stats(&self) -> &[DeviceStats] {
-        &self.device_stats
+    /// Traffic statistics of `device`. Devices that never saw traffic
+    /// report all-zero counters.
+    pub fn device_stats(&self, device: usize) -> DeviceStats {
+        self.device_stats.get(&device).copied().unwrap_or_default()
     }
 
     /// Records that `device` missed a cycle because of the per-round
     /// deadline (called by the round layer).
     pub(crate) fn note_timeout(&mut self, device: usize) {
         self.stats.timeouts += 1;
-        if let Some(d) = self.device_stats.get_mut(device) {
-            d.missed_cycles += 1;
+        if device < self.num_devices {
+            self.device_stats.entry(device).or_default().missed_cycles += 1;
         }
         helios_obs::emit(|| TraceEvent::Timeout {
             device: device as u64,
@@ -216,8 +240,8 @@ impl SimTransport {
     }
 
     pub(crate) fn note_failure_missed(&mut self, device: usize) {
-        if let Some(d) = self.device_stats.get_mut(device) {
-            d.missed_cycles += 1;
+        if device < self.num_devices {
+            self.device_stats.entry(device).or_default().missed_cycles += 1;
         }
     }
 
@@ -258,7 +282,11 @@ impl SimTransport {
                 attempt: u64::from(attempts),
             });
             let mut transfer = link.expected_transfer(frame.len()).as_secs_f64();
-            let rng = &mut self.rngs[device];
+            let base_seed = self.base_seed;
+            let rng = self
+                .rngs
+                .entry(device)
+                .or_insert_with(|| TensorRng::seed_from(device_seed(base_seed, device)));
             if link.jitter_s > 0.0 {
                 transfer += rng.unit_f64() * link.jitter_s;
             }
@@ -314,7 +342,7 @@ impl SimTransport {
                 });
             }
             self.stats.retries += 1;
-            self.device_stats[device].retries += 1;
+            self.device_stats.entry(device).or_default().retries += 1;
             let backoff = self.retry_backoff_s * f64::from(1u32 << (attempts - 1).min(16));
             helios_obs::emit(|| TraceEvent::Retry {
                 device: device as u64,
@@ -334,7 +362,7 @@ impl SimTransport {
         attempts: u32,
     ) -> Transmission {
         self.stats.delivered_bytes += frame.len() as u64;
-        let d = &mut self.device_stats[device];
+        let d = self.device_stats.entry(device).or_default();
         match direction {
             Direction::Download => d.download_bytes += frame.len() as u64,
             Direction::Upload => d.upload_bytes += frame.len() as u64,
@@ -382,7 +410,7 @@ mod tests {
         assert_eq!(tx.attempts, 1);
         assert_eq!(t.stats().retries, 0);
         assert_eq!(t.stats().bytes_on_wire, f.len() as u64);
-        assert_eq!(t.device_stats()[0].upload_bytes, f.len() as u64);
+        assert_eq!(t.device_stats(0).upload_bytes, f.len() as u64);
     }
 
     #[test]
@@ -497,6 +525,45 @@ mod tests {
             ..NetConfig::default()
         };
         assert!(SimTransport::new(1, &bad, 0).is_err());
+    }
+
+    #[test]
+    fn fleet_scale_state_is_sparse_and_order_independent() {
+        let faults = FaultConfig {
+            drop_prob: 0.2,
+            delay_prob: 0.3,
+            max_extra_delay_s: 0.5,
+            ..FaultConfig::default()
+        };
+        let cfg = config(
+            faults,
+            LinkProfile::constrained(1e6, 0.01).with_jitter(0.05),
+        );
+        // 100k enrolled devices cost nothing until they see traffic.
+        let mut t = SimTransport::new(100_000, &cfg, 7).unwrap();
+        assert_eq!(t.num_devices(), 100_000);
+        assert_eq!(t.touched_devices(), 0);
+        let f = frame();
+        let a = t.transmit(99_999, &f, Direction::Upload).unwrap();
+        let b = t.transmit(3, &f, Direction::Upload).unwrap();
+        assert!(t.touched_devices() <= 2);
+        // Per-device streams are pure in (seed, index): a transport that
+        // serves the same devices in the opposite order sees identical
+        // outcomes.
+        let mut u = SimTransport::new(100_000, &cfg, 7).unwrap();
+        let b2 = u.transmit(3, &f, Direction::Upload).unwrap();
+        let a2 = u.transmit(99_999, &f, Direction::Upload).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn untouched_devices_report_zero_stats() {
+        let cfg = config(FaultConfig::default(), LinkProfile::ideal());
+        let t = SimTransport::new(10, &cfg, 1).unwrap();
+        assert_eq!(t.device_stats(9), DeviceStats::default());
+        // Out-of-range queries are also all-zero rather than a panic.
+        assert_eq!(t.device_stats(10_000), DeviceStats::default());
     }
 
     #[test]

@@ -332,7 +332,13 @@ mod tests {
 
     fn healthy_trace() -> Vec<TraceRecord> {
         vec![
-            rec(0.0, TraceEvent::RoundStart { cycle: 0 }),
+            rec(
+                0.0,
+                TraceEvent::RoundStart {
+                    cycle: 0,
+                    population: 2,
+                },
+            ),
             rec(
                 0.0,
                 TraceEvent::PhaseStart {

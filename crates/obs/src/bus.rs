@@ -211,18 +211,30 @@ mod tests {
         assert!(enabled());
 
         set_sim_time(SimTime::from_secs(2.5));
-        emit(|| TraceEvent::RoundStart { cycle: 1 });
+        emit(|| TraceEvent::RoundStart {
+            cycle: 1,
+            population: 4,
+        });
         emit(|| TraceEvent::Timeout { device: 7 });
 
         let records = ring.records();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].t, 2.5);
-        assert_eq!(records[0].event, TraceEvent::RoundStart { cycle: 1 });
+        assert_eq!(
+            records[0].event,
+            TraceEvent::RoundStart {
+                cycle: 1,
+                population: 4
+            }
+        );
         assert_eq!(records[1].event, TraceEvent::Timeout { device: 7 });
 
         drop(handle);
         assert!(!enabled());
-        emit(|| TraceEvent::RoundStart { cycle: 2 });
+        emit(|| TraceEvent::RoundStart {
+            cycle: 2,
+            population: 4,
+        });
         assert_eq!(ring.records().len(), 2, "detached sink stays quiet");
         assert_eq!(sim_time_s(), 0.0, "time resets when the bus empties");
     }
@@ -248,7 +260,10 @@ mod tests {
         let b = RingBufferSink::with_capacity(4);
         let ha = install(Box::new(a.clone()));
         let hb = install(Box::new(b.clone()));
-        emit(|| TraceEvent::RoundStart { cycle: 9 });
+        emit(|| TraceEvent::RoundStart {
+            cycle: 9,
+            population: 4,
+        });
         drop(ha);
         emit(|| TraceEvent::RoundEnd {
             cycle: 9,

@@ -235,7 +235,10 @@ mod tests {
         vec![
             TraceRecord {
                 t: 0.0,
-                event: TraceEvent::RoundStart { cycle: 0 },
+                event: TraceEvent::RoundStart {
+                    cycle: 0,
+                    population: 2,
+                },
             },
             TraceRecord {
                 t: 0.0,

@@ -55,6 +55,9 @@ pub enum TraceEvent {
     RoundStart {
         /// Cycle index.
         cycle: u64,
+        /// Enrolled population size (may exceed the per-cycle cohort at
+        /// fleet scale).
+        population: u64,
     },
     /// A driver phase begins (`select`, `broadcast`, `configure`,
     /// `train`, `route`, `aggregate`, `evaluate`).
@@ -77,6 +80,8 @@ pub enum TraceEvent {
         cycle: u64,
         /// Client/device id.
         device: u64,
+        /// Size of the cohort this selection belongs to.
+        cohort: u64,
     },
     /// The global model went out to the fleet.
     BroadcastSent {
@@ -260,7 +265,7 @@ impl TraceEvent {
     /// The cycle this event belongs to, when it carries one.
     pub fn cycle(&self) -> Option<u64> {
         match self {
-            TraceEvent::RoundStart { cycle }
+            TraceEvent::RoundStart { cycle, .. }
             | TraceEvent::PhaseStart { cycle, .. }
             | TraceEvent::PhaseEnd { cycle, .. }
             | TraceEvent::DeviceSelected { cycle, .. }
@@ -305,13 +310,24 @@ impl Serialize for TraceEvent {
     fn to_value(&self) -> Value {
         let kind = ("type", s(self.kind()));
         match self {
-            TraceEvent::RoundStart { cycle } => map(vec![kind, ("cycle", u(*cycle))]),
+            TraceEvent::RoundStart { cycle, population } => map(vec![
+                kind,
+                ("cycle", u(*cycle)),
+                ("population", u(*population)),
+            ]),
             TraceEvent::PhaseStart { cycle, phase } | TraceEvent::PhaseEnd { cycle, phase } => {
                 map(vec![kind, ("cycle", u(*cycle)), ("phase", s(phase))])
             }
-            TraceEvent::DeviceSelected { cycle, device } => {
-                map(vec![kind, ("cycle", u(*cycle)), ("device", u(*device))])
-            }
+            TraceEvent::DeviceSelected {
+                cycle,
+                device,
+                cohort,
+            } => map(vec![
+                kind,
+                ("cycle", u(*cycle)),
+                ("device", u(*device)),
+                ("cohort", u(*cohort)),
+            ]),
             TraceEvent::BroadcastSent { cycle, devices } => {
                 map(vec![kind, ("cycle", u(*cycle)), ("devices", u(*devices))])
             }
@@ -477,6 +493,7 @@ impl Deserialize for TraceEvent {
         Ok(match get_str(p, "type")? {
             "RoundStart" => TraceEvent::RoundStart {
                 cycle: get_u64(p, "cycle")?,
+                population: get_u64(p, "population")?,
             },
             "PhaseStart" => TraceEvent::PhaseStart {
                 cycle: get_u64(p, "cycle")?,
@@ -489,6 +506,7 @@ impl Deserialize for TraceEvent {
             "DeviceSelected" => TraceEvent::DeviceSelected {
                 cycle: get_u64(p, "cycle")?,
                 device: get_u64(p, "device")?,
+                cohort: get_u64(p, "cohort")?,
             },
             "BroadcastSent" => TraceEvent::BroadcastSent {
                 cycle: get_u64(p, "cycle")?,
@@ -598,7 +616,10 @@ mod tests {
 
     fn samples() -> Vec<TraceEvent> {
         vec![
-            TraceEvent::RoundStart { cycle: 3 },
+            TraceEvent::RoundStart {
+                cycle: 3,
+                population: 100,
+            },
             TraceEvent::PhaseStart {
                 cycle: 3,
                 phase: "train".into(),
@@ -610,6 +631,7 @@ mod tests {
             TraceEvent::DeviceSelected {
                 cycle: 3,
                 device: 1,
+                cohort: 2,
             },
             TraceEvent::BroadcastSent {
                 cycle: 3,

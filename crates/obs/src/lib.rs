@@ -32,7 +32,7 @@
 //! let ring = RingBufferSink::with_capacity(1024);
 //! let handle = install(Box::new(ring.clone()));
 //! set_sim_time(SimTime::from_secs(1.0));
-//! emit(|| TraceEvent::RoundStart { cycle: 0 });
+//! emit(|| TraceEvent::RoundStart { cycle: 0, population: 1 });
 //! drop(handle); // detaches + flushes
 //! assert_eq!(ring.records().len(), 1);
 //! ```
@@ -85,12 +85,12 @@ mod tests {
 
     #[test]
     fn parse_jsonl_round_trips_and_reports_line_numbers() {
-        let text = "{\"t\":0.5,\"type\":\"RoundStart\",\"cycle\":1}\n\n{\"t\":1.0,\"type\":\"Timeout\",\"device\":2}\n";
+        let text = "{\"t\":0.5,\"type\":\"RoundStart\",\"cycle\":1,\"population\":3}\n\n{\"t\":1.0,\"type\":\"Timeout\",\"device\":2}\n";
         let records = parse_jsonl(text).expect("valid trace");
         assert_eq!(records.len(), 2);
         assert_eq!(records[1].event, TraceEvent::Timeout { device: 2 });
 
-        let bad = "{\"t\":0.5,\"type\":\"RoundStart\",\"cycle\":1}\nnot json\n";
+        let bad = "{\"t\":0.5,\"type\":\"RoundStart\",\"cycle\":1,\"population\":3}\nnot json\n";
         let err = parse_jsonl(bad).expect_err("malformed line");
         assert!(err.starts_with("line 2:"), "{err}");
     }

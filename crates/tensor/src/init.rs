@@ -42,7 +42,18 @@ impl TensorRng {
     /// The child stream is a deterministic function of the parent state, so
     /// splitting preserves reproducibility while decoupling consumers.
     pub fn split(&mut self) -> Self {
-        TensorRng::seed_from(self.inner.gen::<u64>())
+        TensorRng::seed_from(self.next_seed())
+    }
+
+    /// Draws the raw 64-bit seed a [`TensorRng::split`] call would use.
+    ///
+    /// Lets callers record the split chain (one `u64` per child) and
+    /// reconstruct each child later with [`TensorRng::seed_from`] —
+    /// `seed_from(next_seed())` is bitwise identical to `split()`. The
+    /// lazily instantiated fleet uses this to defer per-client generator
+    /// construction without perturbing the eager stream.
+    pub fn next_seed(&mut self) -> u64 {
+        self.inner.gen::<u64>()
     }
 
     /// Uniform sample in `[low, high)`.
@@ -166,6 +177,20 @@ mod tests {
         assert_eq!(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
         // Child and parent produce different streams.
         assert_ne!(parent1.uniform(0.0, 1.0), c1.uniform(0.0, 1.0));
+    }
+
+    #[test]
+    fn next_seed_replays_split_exactly() {
+        let mut parent1 = TensorRng::seed_from(11);
+        let mut parent2 = TensorRng::seed_from(11);
+        let recorded = parent1.next_seed();
+        let mut via_seed = TensorRng::seed_from(recorded);
+        let mut via_split = parent2.split();
+        for _ in 0..32 {
+            assert_eq!(via_seed.uniform(0.0, 1.0), via_split.uniform(0.0, 1.0));
+        }
+        // The parents stay in lockstep afterwards.
+        assert_eq!(parent1.uniform(0.0, 1.0), parent2.uniform(0.0, 1.0));
     }
 
     #[test]

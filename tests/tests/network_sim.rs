@@ -148,7 +148,11 @@ fn round_timeout_drops_slow_participant_without_error() {
     for r in metrics.records() {
         assert_eq!(r.participants, 2, "only the on-time clients aggregate");
     }
-    let missed = env.transport().expect("transport").device_stats()[2].missed_cycles;
+    let missed = env
+        .transport()
+        .expect("transport")
+        .device_stats(2)
+        .missed_cycles;
     assert_eq!(missed, 2);
 }
 

@@ -75,7 +75,7 @@ fn missed_cycles_increment_skip_counters_and_force_rejoins() {
     // round: only the two capable clients ever aggregated.
     let transport = env.transport().expect("transport");
     assert!(transport.stats().timeouts > 0, "deadline must trip");
-    let missed = transport.device_stats()[STRAGGLER].missed_cycles;
+    let missed = transport.device_stats(STRAGGLER).missed_cycles;
     assert_eq!(missed, CYCLES as u64, "straggler must miss every cycle");
     for r in metrics.records() {
         assert_eq!(r.participants, 2, "only on-time clients aggregate");

@@ -30,7 +30,9 @@ static OBS_LOCK: Mutex<()> = Mutex::new(());
 /// the event taxonomy, serializer, or simulated outcome moves this
 /// constant — bump it deliberately, never to paper over a thread-width
 /// divergence (the cross-width equality assertion catches those first).
-const PINNED_TRACE_DIGEST: u64 = 0x621340233bd71f7c;
+/// Last bump: fleet-scaling PR — `RoundStart` gained `population` and
+/// `DeviceSelected` gained `cohort`.
+const PINNED_TRACE_DIGEST: u64 = 0xd81d_f18e_ab35_4978;
 
 /// Shared byte buffer standing in for a trace file.
 #[derive(Clone, Default)]
