@@ -14,7 +14,11 @@
 # flops scale with the live parameter fraction), and the observability
 # bench (emits results/BENCH_obs.json plus a JSONL + Chrome trace and
 # self-checks that disabled-mode tracing costs under 3%; the trace is
-# then re-validated with trace_report --validate).
+# then re-validated with trace_report --validate), and the scenario
+# dynamics bench (emits results/BENCH_scenarios.json plus
+# results/trace_scenario.jsonl and self-checks that throttling raises
+# straggler skip counts and Helios beats synchronous FedAvg under
+# churn + throttle + drift).
 #
 # Usage: ./ci.sh [--skip-bench]
 set -euo pipefail
@@ -36,12 +40,12 @@ cargo fmt --all -- --check
 step "cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-step "clippy unwrap/expect deny gate (crates/fl, crates/net, crates/obs)"
+step "clippy unwrap/expect deny gate (crates/fl, crates/net, crates/obs, crates/scenario)"
 # These crates carry `#![cfg_attr(not(test), deny(clippy::unwrap_used,
 # clippy::expect_used))]`, locking in the PR 3 typed-error migration for
 # non-test code; this step compiles them standalone so a violation fails
 # CI even if the workspace pass above is ever narrowed.
-cargo clippy -p helios-fl -p helios-net -p helios-obs --all-targets
+cargo clippy -p helios-fl -p helios-net -p helios-obs -p helios-scenario --all-targets
 
 step "cargo doc (warnings are errors)"
 # Scoped to first-party crates: the vendored deps are workspace members
@@ -49,7 +53,7 @@ step "cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
     -p helios-tensor -p helios-nn -p helios-data -p helios-device \
     -p helios-net -p helios-fl -p helios-core -p helios-bench \
-    -p helios-obs -p helios-examples -p helios-integration
+    -p helios-obs -p helios-scenario -p helios-examples -p helios-integration
 
 step "cargo build --release"
 cargo build --release --workspace
@@ -100,6 +104,20 @@ if [ "$SKIP_BENCH" -eq 0 ]; then
     # Structural validation of the trace bench_obs just wrote: monotone
     # sim time, balanced phase spans, every fault event settled.
     cargo run --release -p helios-obs --bin trace_report -- --validate results/trace_obs.jsonl
+
+    step "scenario dynamics bench (results/BENCH_scenarios.json + trace)"
+    # bench_scenarios re-parses its own JSON and exits nonzero unless
+    # throttling raises the accumulated straggler skip mass, the churn
+    # timeline never starves a cycle, Helios beats synchronous FedAvg
+    # under churn + throttle + drift, and the recorded trace carries
+    # every scheduled scenario event kind.
+    cargo run --release -p helios-bench --bin bench_scenarios
+    [ -s results/BENCH_scenarios.json ] || { echo "BENCH_scenarios.json missing or empty" >&2; exit 1; }
+
+    step "trace_report --validate (results/trace_scenario.jsonl)"
+    # The combined churn + drift walkthrough trace must pass the same
+    # structural validation, including the scenario-event kind check.
+    cargo run --release -p helios-obs --bin trace_report -- --validate results/trace_scenario.jsonl
 else
     step "skipping microbench (--skip-bench)"
 fi

@@ -1,0 +1,306 @@
+//! **BENCH_scenarios** — scenario-engine dynamics under the Helios
+//! protocol.
+//!
+//! Two experiments over the same synthesized fleet:
+//!
+//! 1. **Throttle → skip pressure.** Runs Helios with and without a
+//!    battery/thermal throttle ramp on the fleet. Throttled stragglers
+//!    are classified at a smaller soft-training volume, so more model
+//!    units sit idle per cycle and the server-side skip counters `C_s`
+//!    (§VI.A) accumulate faster.
+//! 2. **Churn resilience.** Runs Helios and synchronous FedAvg through
+//!    an identical join/leave/return + throttle + label-drift timeline
+//!    and compares simulated round time. The Helios leg records its
+//!    trace to `results/trace_scenario.jsonl` (validated by
+//!    `trace_report --validate` in CI).
+//!
+//! Writes `results/BENCH_scenarios.json`, re-parses it, and self-checks:
+//! throttling strictly increases the accumulated skip mass, the churn
+//! timeline never starves a cycle (and the join lands), Helios finishes
+//! the churned workload faster than synchronous FedAvg, and the trace
+//! carries every scheduled scenario event kind. Exits nonzero
+//! otherwise.
+
+use helios_bench::results_dir;
+use helios_core::{HeliosConfig, HeliosStrategy};
+use helios_data::{ShardSynthesizer, SyntheticVision};
+use helios_device::ProfileSynthesizer;
+use helios_fl::{
+    ChurnAction, ChurnEvent, DriftEvent, DriftKind, FlConfig, FlEnv, FleetSpec, ScenarioConfig,
+    Strategy, SyncFedAvg, ThrottleRule,
+};
+use helios_nn::models::ModelKind;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+const SEED: u64 = 61;
+const CYCLES: usize = 8;
+/// Initial enrolled population (the churn timeline grows it by one).
+const POPULATION: usize = 6;
+/// Samples per synthesized device shard.
+const SHARD_SAMPLES: usize = 8;
+/// Held-out test-set size.
+const TEST_SAMPLES: usize = 32;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SkipPressure {
+    /// Sum of all per-unit skip counters across every fitted trainer at
+    /// the end of the run.
+    skip_mass: u64,
+    /// Largest single per-unit skip counter observed.
+    max_skip: u32,
+    /// Devices Helios classified as stragglers.
+    stragglers: usize,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ChurnComparison {
+    helios_total_time: f64,
+    sync_total_time: f64,
+    helios_participants: Vec<usize>,
+    sync_participants: Vec<usize>,
+    /// Enrolled devices once the timeline has played out.
+    final_population: usize,
+    /// Distinct `ScenarioEvent` kinds found in the recorded trace.
+    trace_event_kinds: Vec<String>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ScenarioBenchReport {
+    seed: u64,
+    cycles: usize,
+    population: usize,
+    baseline: SkipPressure,
+    throttled: SkipPressure,
+    churn: ChurnComparison,
+}
+
+/// The battery/thermal ramp used by both experiments: every device
+/// decays from cycle 0, so classification already sees the slowdown.
+fn throttle_ramp() -> ThrottleRule {
+    ThrottleRule {
+        start_cycle: 0,
+        device: None,
+        compute_decay: 0.15,
+        bandwidth_decay: 0.0,
+        floor: 0.35,
+    }
+}
+
+/// Join one newcomer mid-run, drop a device for two cycles.
+fn churn_timeline() -> Vec<ChurnEvent> {
+    vec![
+        ChurnEvent {
+            cycle: 2,
+            action: ChurnAction::Join,
+            device: 0,
+            count: 1,
+        },
+        ChurnEvent {
+            cycle: 3,
+            action: ChurnAction::Leave,
+            device: 1,
+            count: 1,
+        },
+        ChurnEvent {
+            cycle: 5,
+            action: ChurnAction::Return,
+            device: 1,
+            count: 1,
+        },
+    ]
+}
+
+fn make_env(scenario: ScenarioConfig) -> FlEnv {
+    let spec = FleetSpec::new(
+        POPULATION,
+        ProfileSynthesizer::new(SEED, 0.5),
+        ShardSynthesizer::new(SyntheticVision::mnist_like(), SHARD_SAMPLES, SEED)
+            .expect("shard synthesizer"),
+    );
+    let test = spec.shards.test_set(TEST_SAMPLES).expect("test set");
+    FlEnv::new_lazy(
+        ModelKind::LeNet,
+        spec,
+        test,
+        FlConfig {
+            seed: SEED,
+            scenario,
+            ..FlConfig::default()
+        },
+    )
+    .expect("lazy env")
+}
+
+/// Runs Helios and reads back the accumulated skip-counter state.
+fn skip_pressure(scenario: ScenarioConfig) -> SkipPressure {
+    let mut env = make_env(scenario);
+    let mut helios = HeliosStrategy::new(HeliosConfig::default());
+    helios.run(&mut env, CYCLES).expect("helios run");
+    let mut skip_mass = 0u64;
+    let mut max_skip = 0u32;
+    for &id in helios.stragglers() {
+        if let Some(trainer) = helios.trainer(id) {
+            for layer in trainer.skip_cycles() {
+                for &c in layer {
+                    skip_mass += u64::from(c);
+                    max_skip = max_skip.max(c);
+                }
+            }
+        }
+    }
+    SkipPressure {
+        skip_mass,
+        max_skip,
+        stragglers: helios.stragglers().len(),
+    }
+}
+
+fn churn_comparison(dir: &Path) -> ChurnComparison {
+    let scenario = ScenarioConfig {
+        churn: churn_timeline(),
+        throttle: vec![throttle_ramp()],
+        drift: vec![DriftEvent {
+            cycle: 4,
+            kind: DriftKind::LabelRotate,
+            amount: 2.0,
+        }],
+        ..ScenarioConfig::default()
+    };
+    // Trace only the Helios leg: this is the combined churn + drift
+    // walkthrough artifact referenced from EXPERIMENTS.md.
+    let trace_path = dir.join("trace_scenario.jsonl");
+    let sink = helios_obs::JsonlSink::create(&trace_path).expect("trace file");
+    let handle = helios_obs::install(Box::new(sink));
+    let mut helios_env = make_env(scenario.clone());
+    let mut helios = HeliosStrategy::new(HeliosConfig::default());
+    let helios_metrics = helios
+        .run(&mut helios_env, CYCLES)
+        .expect("helios survives churn");
+    drop(handle); // detach + flush before the untraced sync leg
+    let trace = std::fs::read_to_string(&trace_path).expect("read trace back");
+    let mut kinds: Vec<String> = Vec::new();
+    for record in helios_obs::parse_jsonl(&trace).expect("trace parses") {
+        if let helios_obs::TraceEvent::ScenarioEvent { kind, .. } = record.event {
+            if !kinds.contains(&kind) {
+                kinds.push(kind);
+            }
+        }
+    }
+    kinds.sort();
+    let mut sync_env = make_env(scenario);
+    let sync_metrics = SyncFedAvg::new()
+        .run(&mut sync_env, CYCLES)
+        .expect("sync fedavg survives churn");
+    ChurnComparison {
+        helios_total_time: helios_metrics.total_time().as_secs_f64(),
+        sync_total_time: sync_metrics.total_time().as_secs_f64(),
+        helios_participants: helios_metrics
+            .records()
+            .iter()
+            .map(|r| r.participants)
+            .collect(),
+        sync_participants: sync_metrics
+            .records()
+            .iter()
+            .map(|r| r.participants)
+            .collect(),
+        final_population: helios_env.num_clients(),
+        trace_event_kinds: kinds,
+    }
+}
+
+fn main() {
+    println!("Scenario dynamics — {POPULATION} devices, {CYCLES} cycles, seed {SEED}");
+
+    let baseline = skip_pressure(ScenarioConfig::default());
+    let throttled = skip_pressure(ScenarioConfig {
+        throttle: vec![throttle_ramp()],
+        ..ScenarioConfig::default()
+    });
+    println!(
+        "skip pressure: baseline mass {} (max {}), throttled mass {} (max {})",
+        baseline.skip_mass, baseline.max_skip, throttled.skip_mass, throttled.max_skip
+    );
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+
+    let churn = churn_comparison(&dir);
+    println!(
+        "churn + throttle + drift: helios {:.2}s vs sync fedavg {:.2}s over {CYCLES} cycles",
+        churn.helios_total_time, churn.sync_total_time
+    );
+    println!("trace event kinds: {:?}", churn.trace_event_kinds);
+
+    let report = ScenarioBenchReport {
+        seed: SEED,
+        cycles: CYCLES,
+        population: POPULATION,
+        baseline,
+        throttled,
+        churn,
+    };
+    let path = dir.join("BENCH_scenarios.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write report");
+    println!("\nwrote {}", path.display());
+
+    // Self-check against the artifact we just wrote.
+    let parsed: ScenarioBenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read back"))
+            .expect("BENCH_scenarios.json must parse");
+    let mut ok = true;
+    let mut check = |name: &str, pass: bool| {
+        println!("check: {name} — {}", if pass { "ok" } else { "FAIL" });
+        ok &= pass;
+    };
+    check(
+        &format!(
+            "throttling increases straggler skip mass ({} > {})",
+            parsed.throttled.skip_mass, parsed.baseline.skip_mass
+        ),
+        parsed.throttled.skip_mass > parsed.baseline.skip_mass,
+    );
+    check(
+        "the fleet has stragglers to regulate",
+        parsed.throttled.stragglers > 0,
+    );
+    check(
+        "churn never starves a cycle (helios)",
+        parsed.churn.helios_participants.len() == parsed.cycles
+            && parsed.churn.helios_participants.iter().all(|&n| n > 0),
+    );
+    check(
+        "churn never starves a cycle (sync fedavg)",
+        parsed.churn.sync_participants.len() == parsed.cycles
+            && parsed.churn.sync_participants.iter().all(|&n| n > 0),
+    );
+    check(
+        &format!(
+            "the join lands: final population {} > initial {}",
+            parsed.churn.final_population, parsed.population
+        ),
+        parsed.churn.final_population > parsed.population,
+    );
+    check(
+        &format!(
+            "helios beats sync fedavg under churn + throttle ({:.2}s < {:.2}s)",
+            parsed.churn.helios_total_time, parsed.churn.sync_total_time
+        ),
+        parsed.churn.helios_total_time < parsed.churn.sync_total_time,
+    );
+    for kind in ["join", "leave", "return", "throttle", "drift_label_rotate"] {
+        check(
+            &format!("trace carries scenario kind `{kind}`"),
+            parsed.churn.trace_event_kinds.iter().any(|k| k == kind),
+        );
+    }
+    if !ok {
+        eprintln!("scenario dynamics self-check failed");
+        std::process::exit(1);
+    }
+}

@@ -180,6 +180,44 @@ impl Dataset {
         self.subset(&indices)
     }
 
+    /// Returns a copy with every label rotated `by` class positions
+    /// (modulo the class count) — the scenario engine's abrupt concept
+    /// drift. Rotation is exact and composable: rotating by `a` then `b`
+    /// equals rotating by `a + b`.
+    pub fn rotate_labels(&self, by: usize) -> Dataset {
+        if self.num_classes == 0 {
+            return self.clone();
+        }
+        let labels = self
+            .labels
+            .iter()
+            .map(|&l| (l + by) % self.num_classes)
+            .collect();
+        Dataset {
+            images: self.images.clone(),
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Returns a copy with `offset` added to every input value — the
+    /// scenario engine's gradual covariate shift. Note f32 addition is
+    /// not associative: callers composing several shifts must apply them
+    /// one at a time, in timeline order, to stay bit-reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor construction error (impossible for a finite
+    /// offset — the geometry is unchanged).
+    pub fn shift_inputs(&self, offset: f32) -> Result<Dataset> {
+        let data: Vec<f32> = self.images.as_slice().iter().map(|&v| v + offset).collect();
+        Ok(Dataset {
+            images: Tensor::from_vec(data, self.images.dims())?,
+            labels: self.labels.clone(),
+            num_classes: self.num_classes,
+        })
+    }
+
     /// Iterates the dataset in fixed order as mini-batches of at most
     /// `batch_size` samples (the final batch may be smaller).
     ///
@@ -338,6 +376,30 @@ mod tests {
         let empty = ds.class_subset(1).unwrap();
         assert_eq!(empty.len(), 1);
         assert!(ds.class_subset(9).is_err());
+    }
+
+    #[test]
+    fn rotate_labels_wraps_and_composes() {
+        let ds = four_sample_dataset();
+        let r = ds.rotate_labels(2);
+        assert_eq!(r.labels(), &[2, 0, 1, 2]);
+        assert_eq!(r.images().as_slice(), ds.images().as_slice());
+        // Composition equals a single combined rotation.
+        let twice = ds.rotate_labels(1).rotate_labels(1);
+        assert_eq!(twice.labels(), r.labels());
+        // A full-cycle rotation is the identity.
+        assert_eq!(ds.rotate_labels(3).labels(), ds.labels());
+    }
+
+    #[test]
+    fn shift_inputs_offsets_every_pixel() {
+        let ds = four_sample_dataset();
+        let s = ds.shift_inputs(0.5).unwrap();
+        for (a, b) in ds.images().as_slice().iter().zip(s.images().as_slice()) {
+            assert_eq!(*b, *a + 0.5);
+        }
+        assert_eq!(s.labels(), ds.labels());
+        assert_eq!(s.num_classes(), ds.num_classes());
     }
 
     #[test]

@@ -106,9 +106,27 @@ impl ResourceProfile {
             factor.is_finite() && factor > 0.0,
             "throttle factor must be positive and finite, got {factor}"
         );
+        let mut p = self.compute_scaled(factor);
+        p.name = format!("{}@x{factor:.2}", self.name);
+        p
+    }
+
+    /// Returns a copy with compute bandwidth scaled by `factor`, keeping
+    /// the name unchanged — the scenario engine's battery/thermal
+    /// throttling knob, recomputed from the pristine profile every cycle
+    /// (a renaming copy like [`ResourceProfile::throttled`] would
+    /// compound suffixes when applied repeatedly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn compute_scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "throttle factor must be positive and finite, got {factor}"
+        );
         let mut p = self.clone();
         p.compute_flops_per_sec *= factor;
-        p.name = format!("{}@x{factor:.2}", self.name);
         p
     }
 }
@@ -160,6 +178,27 @@ mod tests {
     fn bad_throttle_panics() {
         let p = ResourceProfile::new("x", 1e9, 1e9, 1e7, 1);
         let _ = p.throttled(0.0);
+    }
+
+    #[test]
+    fn compute_scaled_keeps_name_and_composes() {
+        let p = ResourceProfile::new("nano", 10e9, 2e9, 3e7, 1 << 30);
+        let s = p.compute_scaled(0.5);
+        assert_eq!(s.name(), "nano", "no rename suffix");
+        assert_eq!(s.compute_flops_per_sec(), 5e9);
+        assert_eq!(s.mem_bytes_per_sec(), 2e9);
+        assert_eq!(s.net_bytes_per_sec(), 3e7);
+        // Repeated application multiplies without mangling the name.
+        let s2 = s.compute_scaled(0.5);
+        assert_eq!(s2.name(), "nano");
+        assert_eq!(s2.compute_flops_per_sec(), 2.5e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "throttle factor")]
+    fn bad_compute_scale_panics() {
+        let p = ResourceProfile::new("x", 1e9, 1e9, 1e7, 1);
+        let _ = p.compute_scaled(f64::NAN);
     }
 
     #[test]

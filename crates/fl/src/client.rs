@@ -6,6 +6,7 @@ use helios_data::Dataset;
 use helios_device::{CostModel, ResourceProfile, SimTime, TrainingWorkload};
 use helios_net::WireSize;
 use helios_nn::{CrossEntropyLoss, ModelMask, Network, NetworkCost, Sgd};
+use helios_scenario::DriftKind;
 use helios_tensor::TensorRng;
 
 /// Global gradient-norm clip applied by every client's optimizer —
@@ -61,6 +62,15 @@ pub struct Client {
     rng: TensorRng,
     current_mask: Option<ModelMask>,
     last_based_on: usize,
+    /// Scenario-engine battery/thermal scale applied to the profile's
+    /// compute bandwidth when deriving cycle times; `1.0` (the default)
+    /// leaves the pristine profile untouched.
+    compute_scale: f64,
+    /// How many scenario drift events have been replayed onto the local
+    /// shard — late-materialized clients catch up by replaying the
+    /// timeline from this counter, keeping lazy and eager fleets
+    /// bit-identical.
+    drift_applied: usize,
 }
 
 impl Client {
@@ -105,6 +115,8 @@ impl Client {
             rng,
             current_mask: None,
             last_based_on: 0,
+            compute_scale: 1.0,
+            drift_applied: 0,
         }
     }
 
@@ -285,9 +297,63 @@ impl Client {
         )
     }
 
-    /// Simulated duration of one local training cycle on this device.
+    /// Simulated duration of one local training cycle on this device,
+    /// under the current scenario compute scale (throttled devices take
+    /// proportionally longer).
     pub fn cycle_time(&self) -> SimTime {
-        CostModel::time_for(&self.profile, &self.cycle_workload())
+        if self.compute_scale == 1.0 {
+            return CostModel::time_for(&self.profile, &self.cycle_workload());
+        }
+        CostModel::time_for(
+            &self.profile.compute_scaled(self.compute_scale),
+            &self.cycle_workload(),
+        )
+    }
+
+    /// The current scenario compute scale (see
+    /// [`Client::set_compute_scale`]).
+    pub fn compute_scale(&self) -> f64 {
+        self.compute_scale
+    }
+
+    /// Sets the scenario engine's battery/thermal compute scale. The
+    /// pristine profile is kept and rescaled on every query, so the
+    /// scale can be recomputed from the timeline each cycle without
+    /// compounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn set_compute_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "compute scale must be positive and finite, got {scale}"
+        );
+        self.compute_scale = scale;
+    }
+
+    /// Number of scenario drift events already applied to the local
+    /// shard (see [`Client::apply_drift`]).
+    pub fn drift_applied(&self) -> usize {
+        self.drift_applied
+    }
+
+    /// Applies one scenario drift event to the local shard and advances
+    /// the replay counter. Events must be applied one at a time in
+    /// timeline order — f32 addition is not associative, so composing
+    /// shifts would break the lazy==eager bitwise-parity contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor construction errors (impossible for finite
+    /// amounts).
+    pub fn apply_drift(&mut self, kind: DriftKind, amount: f64) -> Result<()> {
+        self.dataset = match kind {
+            DriftKind::LabelRotate => self.dataset.rotate_labels(amount.max(0.0).round() as usize),
+            DriftKind::InputShift => self.dataset.shift_inputs(amount as f32)?,
+        };
+        self.drift_applied += 1;
+        Ok(())
     }
 
     /// The workload scale factor (see [`Client::new`]).

@@ -244,6 +244,11 @@ impl RoundDriver {
                 population: env.num_clients() as u64,
             });
 
+            // 0a. Scenario timeline: apply due churn/drift events and
+            // recompute throttle scales before the cohort is drawn (a
+            // no-op without a scenario).
+            env.scenario_begin_cycle(cycle)?;
+
             // 1. Selection + 3. per-client configuration (serial, in
             // participant order — stateful policies rely on it).
             let t = Instant::now();
@@ -259,6 +264,11 @@ impl RoundDriver {
                     cohort: participants.len() as u64,
                 });
             }
+
+            // 0b. Scenario cohort preparation: replay pending drift onto
+            // participant shards and throttle participant links (a no-op
+            // without a scenario).
+            env.scenario_prepare_cohort(cycle, &participants)?;
 
             // 2. Broadcast.
             let t = Instant::now();

@@ -8,12 +8,13 @@ use helios_device::{ResourceProfile, SimClock, SimTime};
 use helios_net::{codec, simulate_round, LinkProfile, NetConfig, RoundJob, SimTransport};
 use helios_nn::models::ModelKind;
 use helios_nn::{CrossEntropyLoss, Network};
+use helios_scenario::{ChurnAction, DriftKind, EventKind, ScenarioConfig, Schedule};
 use helios_tensor::{map_items_mut, ParallelismConfig, TensorRng};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Hyper-parameters shared by every strategy run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlConfig {
     /// Mini-batch size for local training.
     pub batch_size: usize,
@@ -54,6 +55,13 @@ pub struct FlConfig {
     /// unchanged.
     #[serde(default)]
     pub sampling: SamplerConfig,
+    /// Declarative scenario timeline: device churn, diurnal availability
+    /// waves, battery/thermal throttling, and data drift. Defaults to
+    /// *empty* (a static fleet — bit-identical to runs before the
+    /// scenario engine existed), so older configs keep loading
+    /// unchanged.
+    #[serde(default)]
+    pub scenario: ScenarioConfig,
 }
 
 impl Default for FlConfig {
@@ -69,6 +77,7 @@ impl Default for FlConfig {
             parallelism: ParallelismConfig::auto(),
             net: NetConfig::default(),
             sampling: SamplerConfig::default(),
+            scenario: ScenarioConfig::default(),
         }
     }
 }
@@ -158,6 +167,28 @@ struct LazyFleet {
     cache: BTreeMap<usize, Client>,
 }
 
+/// Mutable scenario-engine state carried by the environment for the
+/// duration of one run. Absent (`None`) when the config's scenario is
+/// empty, which guarantees zero behavioral change for pre-scenario
+/// runs.
+#[derive(Debug, Clone)]
+struct ScenarioRuntime {
+    /// The compiled, time-sorted event timeline.
+    schedule: Schedule,
+    /// Devices currently departed (scenario `Leave` without a matching
+    /// `Return`). They are filtered out of every cohort but keep their
+    /// id, skip counters, and materialized state, so a `Return` resumes
+    /// them exactly where they left off — Helios's device-id-keyed
+    /// collaboration state survives churn.
+    offline: BTreeSet<usize>,
+    /// Cycle currently being driven; consulted when a client is
+    /// materialized mid-run so it picks up the throttle scale already
+    /// in force.
+    current_cycle: usize,
+    /// Index into `schedule.events()` of the first unapplied event.
+    next_event: usize,
+}
+
 impl LazyFleet {
     /// Constructs client `i` from the spec's pure generators and its
     /// recorded seed. Pure in `i`: materializing in any order, or after
@@ -210,6 +241,9 @@ pub struct FlEnv {
     /// Participation propensities consumed by availability-weighted
     /// sampling; `always_on` unless a [`FleetSpec`] says otherwise.
     availability: AvailabilityModel,
+    /// Present iff `config.scenario` is non-empty: the compiled timeline
+    /// plus the churn overlay the round driver consults each cycle.
+    scenario_rt: Option<ScenarioRuntime>,
 }
 
 impl FlEnv {
@@ -269,6 +303,11 @@ impl FlEnv {
         } else {
             None
         };
+        let scenario_rt = Self::build_scenario_runtime(&config, clients.len(), None)?;
+        let mut availability = AvailabilityModel::always_on();
+        if let Some(w) = config.scenario.diurnal {
+            availability = availability.with_wave(w);
+        }
         Ok(FlEnv {
             store: ClientStore::Eager(clients),
             test_set,
@@ -277,7 +316,8 @@ impl FlEnv {
             clock: SimClock::new(),
             config,
             transport,
-            availability: AvailabilityModel::always_on(),
+            availability,
+            scenario_rt,
         })
     }
 
@@ -324,7 +364,12 @@ impl FlEnv {
         } else {
             None
         };
-        let availability = spec.availability;
+        let scenario_rt =
+            Self::build_scenario_runtime(&config, spec.population, Some(spec.retain_clients))?;
+        let mut availability = spec.availability;
+        if let Some(w) = config.scenario.diurnal {
+            availability = availability.with_wave(w);
+        }
         Ok(FlEnv {
             store: ClientStore::Lazy(LazyFleet {
                 spec,
@@ -339,7 +384,59 @@ impl FlEnv {
             config,
             transport,
             availability,
+            scenario_rt,
         })
+    }
+
+    /// Compiles the config's scenario timeline into runtime state, or
+    /// `None` for an empty scenario (static fleet, historical behavior).
+    ///
+    /// `lazy_retaining` is `None` for an eager fleet, `Some(retain)` for
+    /// a lazy one. Scenario `Join` events grow the population from the
+    /// spec's pure generators, so they require a retaining lazy fleet.
+    fn build_scenario_runtime(
+        config: &FlConfig,
+        population: usize,
+        lazy_retaining: Option<bool>,
+    ) -> Result<Option<ScenarioRuntime>> {
+        if config.scenario.is_empty() {
+            return Ok(None);
+        }
+        config
+            .scenario
+            .validate(population)
+            .map_err(|e| FlError::InvalidRunConfig {
+                what: format!("scenario: {}", e.what),
+            })?;
+        let has_joins = config
+            .scenario
+            .churn
+            .iter()
+            .any(|e| e.action == ChurnAction::Join);
+        if has_joins {
+            match lazy_retaining {
+                None => {
+                    return Err(FlError::InvalidRunConfig {
+                        what: "scenario join events require a lazy fleet \
+                               (newcomers come from the spec's generators)"
+                            .into(),
+                    })
+                }
+                Some(false) => {
+                    return Err(FlError::InvalidRunConfig {
+                        what: "scenario join events require client retention on the lazy fleet"
+                            .into(),
+                    })
+                }
+                Some(true) => {}
+            }
+        }
+        Ok(Some(ScenarioRuntime {
+            schedule: config.scenario.compile(),
+            offline: BTreeSet::new(),
+            current_cycle: 0,
+            next_event: 0,
+        }))
     }
 
     /// The run configuration.
@@ -396,14 +493,46 @@ impl FlEnv {
                 num_clients: n,
             });
         }
-        let config = self.config;
+        let config = self.config.clone();
+        let throttle_cycle = self.scenario_rt.as_ref().map(|rt| rt.current_cycle);
         if let ClientStore::Lazy(l) = &mut self.store {
             if !l.cache.contains_key(&i) {
-                let client = l.materialize(i, &config)?;
+                let mut client = l.materialize(i, &config)?;
+                if let Some(cycle) = throttle_cycle {
+                    // A device materialized mid-run picks up the
+                    // throttle scale already in force, exactly as if it
+                    // had been resident since cycle 0.
+                    let scale = Self::combined_compute_scale(&config.scenario, i, cycle);
+                    if scale != 1.0 {
+                        client.set_compute_scale(scale);
+                    }
+                }
                 l.cache.insert(i, client);
             }
         }
         Ok(())
+    }
+
+    /// Product of every applicable throttle rule's compute scale for
+    /// `device` at `cycle`; `1.0` when no rule is active.
+    fn combined_compute_scale(scenario: &ScenarioConfig, device: usize, cycle: usize) -> f64 {
+        scenario
+            .throttle
+            .iter()
+            .filter(|r| r.applies_to(device))
+            .map(|r| r.compute_scale(cycle))
+            .product()
+    }
+
+    /// Product of every applicable throttle rule's bandwidth scale for
+    /// `device` at `cycle`; `1.0` when no rule is active.
+    fn combined_bandwidth_scale(scenario: &ScenarioConfig, device: usize, cycle: usize) -> f64 {
+        scenario
+            .throttle
+            .iter()
+            .filter(|r| r.applies_to(device))
+            .map(|r| r.bandwidth_scale(cycle))
+            .product()
     }
 
     /// Draws cycle `cycle`'s cohort and materializes it, evicting
@@ -422,7 +551,14 @@ impl FlEnv {
     /// materialization errors.
     pub fn select_cohort(&mut self, cycle: usize) -> Result<Vec<usize>> {
         let sampler = ClientSampler::new(self.config.sampling, self.config.seed);
-        let cohort = sampler.cohort(self.num_clients(), cycle, &self.availability);
+        let mut cohort = sampler.cohort(self.num_clients(), cycle, &self.availability);
+        if let Some(rt) = &self.scenario_rt {
+            // Departed devices are filtered after the draw rather than
+            // re-weighted inside it, so the sampler's stream stays a
+            // pure function of (config, seed, population, cycle) and
+            // cohorts replay bitwise whether or not churn is active.
+            cohort.retain(|d| !rt.offline.contains(d));
+        }
         if cohort.is_empty() {
             return Err(FlError::InvalidRunConfig {
                 what: format!("cycle {cycle} sampled an empty cohort (no available devices)"),
@@ -568,6 +704,208 @@ impl FlEnv {
         }
         helios_obs::emit(|| helios_obs::TraceEvent::DeviceJoined { device: id as u64 });
         Ok(id)
+    }
+
+    /// Whether a non-empty scenario timeline is driving this run.
+    pub fn scenario_active(&self) -> bool {
+        self.scenario_rt.is_some()
+    }
+
+    /// Number of devices currently departed under scenario churn
+    /// (`Leave` without a matching `Return`).
+    pub fn offline_devices(&self) -> usize {
+        self.scenario_rt.as_ref().map_or(0, |rt| rt.offline.len())
+    }
+
+    /// Scenario hook the round driver calls at the top of every cycle,
+    /// before cohort selection: applies all timeline events due at
+    /// `cycle` (joins grow the population, leaves/returns update the
+    /// churn overlay, drift rotates the held-out test set) and
+    /// recomputes every materialized client's throttle scale from the
+    /// timeline. A no-op when the scenario is empty.
+    ///
+    /// Every applied event emits a
+    /// [`TraceEvent::ScenarioEvent`](helios_obs::TraceEvent); all work
+    /// here is serial and deterministic, so traces stay byte-identical
+    /// at any thread width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates join materialization and drift transform errors.
+    pub fn scenario_begin_cycle(&mut self, cycle: usize) -> Result<()> {
+        let due: Vec<helios_scenario::ScheduledEvent> = match &mut self.scenario_rt {
+            None => return Ok(()),
+            Some(rt) => {
+                rt.current_cycle = cycle;
+                let events = rt.schedule.events();
+                let start = rt.next_event;
+                let mut end = start;
+                while end < events.len() && events[end].cycle <= cycle {
+                    end += 1;
+                }
+                rt.next_event = end;
+                events[start..end].to_vec()
+            }
+        };
+        for ev in due {
+            match ev.kind {
+                EventKind::Join { count } => {
+                    for _ in 0..count {
+                        let id = self.scenario_join()?;
+                        helios_obs::emit(|| helios_obs::TraceEvent::ScenarioEvent {
+                            cycle: cycle as u64,
+                            kind: "join".into(),
+                            device: Some(id as u64),
+                            value: 1.0,
+                        });
+                    }
+                }
+                EventKind::Leave { device } => {
+                    if let Some(rt) = &mut self.scenario_rt {
+                        rt.offline.insert(device);
+                    }
+                    helios_obs::emit(|| helios_obs::TraceEvent::ScenarioEvent {
+                        cycle: cycle as u64,
+                        kind: "leave".into(),
+                        device: Some(device as u64),
+                        value: 0.0,
+                    });
+                }
+                EventKind::Return { device } => {
+                    if let Some(rt) = &mut self.scenario_rt {
+                        rt.offline.remove(&device);
+                    }
+                    helios_obs::emit(|| helios_obs::TraceEvent::ScenarioEvent {
+                        cycle: cycle as u64,
+                        kind: "return".into(),
+                        device: Some(device as u64),
+                        value: 1.0,
+                    });
+                }
+                EventKind::Drift { kind, amount } => {
+                    if self.config.scenario.drift_test_set {
+                        // The evaluation distribution drifts with the
+                        // fleet, at fire time; client shards catch up
+                        // per participant in `scenario_prepare_cohort`.
+                        self.test_set = match kind {
+                            DriftKind::LabelRotate => self
+                                .test_set
+                                .rotate_labels(amount.max(0.0).round() as usize),
+                            DriftKind::InputShift => self.test_set.shift_inputs(amount as f32)?,
+                        };
+                    }
+                    helios_obs::emit(|| helios_obs::TraceEvent::ScenarioEvent {
+                        cycle: cycle as u64,
+                        kind: kind.trace_kind().into(),
+                        device: None,
+                        value: amount,
+                    });
+                }
+            }
+        }
+        // Battery/thermal throttling: recompute every materialized
+        // client's compute scale from the timeline (the pristine profile
+        // is rescaled each cycle, never compounded), and record each
+        // active rule once per cycle.
+        let scenario = self.config.scenario.clone();
+        if !scenario.throttle.is_empty() {
+            for c in self.clients_mut() {
+                let id = c.id();
+                c.set_compute_scale(Self::combined_compute_scale(&scenario, id, cycle));
+            }
+            for rule in &scenario.throttle {
+                if rule.active_at(cycle) {
+                    let device = rule.device.map(|d| d as u64);
+                    let value = rule.compute_scale(cycle);
+                    helios_obs::emit(|| helios_obs::TraceEvent::ScenarioEvent {
+                        cycle: cycle as u64,
+                        kind: "throttle".into(),
+                        device,
+                        value,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scenario hook the round driver calls right after cohort
+    /// selection, before the broadcast: replays any not-yet-applied
+    /// drift events onto each participant's shard and applies bandwidth
+    /// throttling to participant links. A no-op when the scenario is
+    /// empty.
+    ///
+    /// Drift is replayed one event at a time in timeline order from each
+    /// client's own counter — f32 arithmetic is not associative, so late
+    /// joiners and late-materialized devices must walk the same event
+    /// sequence to converge on the same bytes as devices resident since
+    /// cycle 0 (the lazy==eager parity contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates materialization, drift transform, and link errors.
+    pub fn scenario_prepare_cohort(&mut self, cycle: usize, participants: &[usize]) -> Result<()> {
+        let Some(rt) = &self.scenario_rt else {
+            return Ok(());
+        };
+        let scenario = self.config.scenario.clone();
+        if !scenario.drift.is_empty() {
+            let due: Vec<(DriftKind, f64)> = rt
+                .schedule
+                .events()
+                .iter()
+                .filter(|e| e.cycle <= cycle)
+                .filter_map(|e| match e.kind {
+                    EventKind::Drift { kind, amount } => Some((kind, amount)),
+                    _ => None,
+                })
+                .collect();
+            for &p in participants {
+                loop {
+                    let c = self.client_mut(p)?;
+                    let next = c.drift_applied();
+                    if next >= due.len() {
+                        break;
+                    }
+                    let (kind, amount) = due[next];
+                    c.apply_drift(kind, amount)?;
+                }
+            }
+        }
+        // Bandwidth throttling scales the configured base link; skipped
+        // when networking is disabled or the base bandwidth is
+        // unlimited (there is nothing to scale down).
+        if self.transport.is_some() && !scenario.throttle.is_empty() {
+            let base = self.config.net.link;
+            if let Some(bw) = base.bandwidth_bps {
+                for &p in participants {
+                    let s = Self::combined_bandwidth_scale(&scenario, p, cycle);
+                    if s != 1.0 {
+                        let mut link = base;
+                        link.bandwidth_bps = Some(bw * s);
+                        self.set_link(p, link)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Grows the population by one device synthesized from the lazy
+    /// spec's pure generators (the scenario-churn join path).
+    fn scenario_join(&mut self) -> Result<usize> {
+        let id = self.num_clients();
+        let (profile, shard) = match &self.store {
+            ClientStore::Lazy(l) => (l.spec.profiles.profile(id), l.spec.shards.shard(id)?),
+            ClientStore::Eager(_) => {
+                // Unreachable: `build_scenario_runtime` rejects join
+                // events on eager fleets at construction.
+                return Err(FlError::InvalidRunConfig {
+                    what: "scenario join events require a lazy fleet".into(),
+                });
+            }
+        };
+        self.join_client(profile, shard)
     }
 
     /// The current global parameter vector.
@@ -1082,6 +1420,7 @@ mod tests {
         assert!(!cfg.net.enabled);
         assert_eq!(cfg.net, NetConfig::default());
         assert!(!cfg.sampling.enabled, "sampling defaults to disabled");
+        assert!(cfg.scenario.is_empty(), "scenario defaults to empty");
         cfg.validate().unwrap();
         // And a round-trip of the current shape preserves the section.
         let enabled = FlConfig {
@@ -1169,7 +1508,14 @@ mod tests {
         // The eager twin materializes the same generators by hand.
         let fleet: Vec<_> = (0..3).map(|i| spec.profiles.profile(i)).collect();
         let shards: Vec<_> = (0..3).map(|i| spec.shards.shard(i).unwrap()).collect();
-        let mut eager = FlEnv::new(ModelKind::LeNet, fleet, shards, test.clone(), config).unwrap();
+        let mut eager = FlEnv::new(
+            ModelKind::LeNet,
+            fleet,
+            shards,
+            test.clone(),
+            config.clone(),
+        )
+        .unwrap();
         let mut lazy = FlEnv::new_lazy(ModelKind::LeNet, spec, test, config).unwrap();
         assert!(lazy.is_lazy() && !eager.is_lazy());
         assert_eq!(lazy.materialized_clients(), 0);
@@ -1207,7 +1553,7 @@ mod tests {
             sampling: SamplerConfig::uniform(4),
             ..FlConfig::default()
         };
-        let mut env = FlEnv::new_lazy(ModelKind::LeNet, spec, test, config).unwrap();
+        let mut env = FlEnv::new_lazy(ModelKind::LeNet, spec, test, config.clone()).unwrap();
         assert_eq!(env.num_clients(), 50);
         let c0 = env.select_cohort(0).unwrap();
         assert_eq!(c0.len(), 4);

@@ -9,24 +9,37 @@
 
 use helios_data::ShardSynthesizer;
 use helios_device::fleet::{mix64, unit_from_bits, ProfileSynthesizer};
+use helios_scenario::DiurnalWave;
 use serde::{Deserialize, Serialize};
 
 /// Golden-ratio multiplier used across the workspace for index mixing.
 const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 /// Domain-separation tag for the availability stream ("AVLB").
 const AVAIL_STREAM: u64 = 0x4156_4c42;
+/// Domain-separation tag for the diurnal wave phase stream ("WAVE").
+const WAVE_STREAM: u64 = 0x5741_5645;
 
-/// Per-device participation propensity, pure in `(base_seed, index)`.
+/// Per-device participation propensity, pure in
+/// `(base_seed, device, cycle)`.
 ///
 /// A fixed fraction of the population is permanently offline
 /// (availability exactly `0.0` — the weighted sampler must never select
-/// them); the rest get an individual availability in `(0, 1)`. The
-/// always-on model (`offline_fraction == 0`) reports `1.0` for every
-/// device and is the default for eager environments.
+/// them); the rest get an individual base availability in `(0, 1]`. An
+/// optional [`DiurnalWave`] modulates the base weight over simulated
+/// time with a per-device phase shift, so a fleet's participation
+/// ebbs and flows like a day/night cycle while staying a pure function
+/// of `(base_seed, device, cycle)` — the lazy==eager bitwise-parity
+/// contract. The always-on model (`offline_fraction == 0`, no wave)
+/// reports `1.0` for every device at every cycle and is the default for
+/// eager environments.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AvailabilityModel {
     base_seed: u64,
     offline_fraction: f64,
+    /// Optional time-of-day modulation (absent in configs written
+    /// before the scenario engine existed).
+    #[serde(default)]
+    wave: Option<DiurnalWave>,
 }
 
 impl AvailabilityModel {
@@ -36,6 +49,7 @@ impl AvailabilityModel {
         AvailabilityModel {
             base_seed: 0,
             offline_fraction: 0.0,
+            wave: None,
         }
     }
 
@@ -54,13 +68,29 @@ impl AvailabilityModel {
         AvailabilityModel {
             base_seed,
             offline_fraction,
+            wave: None,
         }
     }
 
-    /// Availability weight of `device` in `[0, 1]`; exactly `0.0` for
-    /// permanently offline devices. Pure in `(base_seed, device)`.
+    /// Adds a diurnal wave: each device's weight is multiplied by a
+    /// phase-shifted sinusoid of the cycle index.
     #[must_use]
-    pub fn availability(&self, device: usize) -> f64 {
+    pub fn with_wave(mut self, wave: DiurnalWave) -> Self {
+        self.wave = Some(wave);
+        self
+    }
+
+    /// The installed diurnal wave, if any.
+    #[must_use]
+    pub fn wave(&self) -> Option<&DiurnalWave> {
+        self.wave.as_ref()
+    }
+
+    /// Base availability ignoring any diurnal wave: `0.0` for
+    /// permanently offline devices, in `(0, 1]` otherwise. Pure in
+    /// `(base_seed, device)`.
+    #[must_use]
+    fn base_availability(&self, device: usize) -> f64 {
         if self.offline_fraction == 0.0 {
             return 1.0;
         }
@@ -71,6 +101,27 @@ impl AvailabilityModel {
         } else {
             // Rescale the surviving mass to (0, 1].
             (u - self.offline_fraction) / (1.0 - self.offline_fraction)
+        }
+    }
+
+    /// Availability weight of `device` at `cycle`, in `[0, 1]`; exactly
+    /// `0.0` for permanently offline devices regardless of the wave.
+    /// Pure in `(base_seed, device, cycle)` — without a wave the cycle
+    /// is ignored and the historical static weights are returned
+    /// bit-for-bit.
+    #[must_use]
+    pub fn availability(&self, device: usize, cycle: usize) -> f64 {
+        let base = self.base_availability(device);
+        match &self.wave {
+            None => base,
+            Some(w) => {
+                if base == 0.0 {
+                    return 0.0;
+                }
+                let h =
+                    mix64(self.base_seed ^ WAVE_STREAM ^ GOLDEN.wrapping_mul(device as u64 + 1));
+                base * w.scale(unit_from_bits(h), cycle)
+            }
         }
     }
 }
@@ -136,26 +187,80 @@ mod tests {
     #[test]
     fn always_on_reports_unit_availability() {
         let m = AvailabilityModel::always_on();
-        assert!((0..1000).all(|i| m.availability(i) == 1.0));
+        assert!((0..1000).all(|i| m.availability(i, 0) == 1.0));
+        // Without a wave the cycle is ignored.
+        assert!((0..100).all(|c| m.availability(3, c) == 1.0));
     }
 
     #[test]
     fn availability_is_pure_and_offline_fraction_holds() {
         let m = AvailabilityModel::new(9, 0.25);
         let n = 4000;
-        let offline = (0..n).filter(|&i| m.availability(i) == 0.0).count();
+        let offline = (0..n).filter(|&i| m.availability(i, 0) == 0.0).count();
         let rate = offline as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.03, "offline rate {rate}");
         for i in [0usize, 17, 3999] {
-            assert_eq!(m.availability(i).to_bits(), m.availability(i).to_bits());
-            assert!((0.0..=1.0).contains(&m.availability(i)));
+            assert_eq!(
+                m.availability(i, 0).to_bits(),
+                m.availability(i, 0).to_bits()
+            );
+            assert!((0.0..=1.0).contains(&m.availability(i, 0)));
+            // Static weights are cycle-independent.
+            assert_eq!(
+                m.availability(i, 0).to_bits(),
+                m.availability(i, 99).to_bits()
+            );
         }
     }
 
     #[test]
     fn fully_offline_population_has_no_available_devices() {
         let m = AvailabilityModel::new(1, 1.0);
-        assert!((0..256).all(|i| m.availability(i) == 0.0));
+        assert!((0..256).all(|i| m.availability(i, 0) == 0.0));
+    }
+
+    #[test]
+    fn diurnal_wave_modulates_over_cycles_but_stays_pure() {
+        let wave = DiurnalWave {
+            period_cycles: 8,
+            min_scale: 0.1,
+            phase_spread: 1.0,
+        };
+        let m = AvailabilityModel::new(9, 0.25).with_wave(wave);
+        assert!(m.wave().is_some());
+        // Pure in (device, cycle) and bounded by the static weight.
+        let static_m = AvailabilityModel::new(9, 0.25);
+        for device in 0..64 {
+            let base = static_m.availability(device, 0);
+            for cycle in 0..16 {
+                let a = m.availability(device, cycle);
+                assert_eq!(a.to_bits(), m.availability(device, cycle).to_bits());
+                assert!(a <= base, "wave must only shrink the weight");
+                if base == 0.0 {
+                    assert_eq!(a, 0.0, "offline devices stay offline at every hour");
+                }
+            }
+            // Exactly periodic.
+            assert_eq!(
+                m.availability(device, 3).to_bits(),
+                m.availability(device, 3 + 8).to_bits()
+            );
+        }
+        // The wave actually varies over the day for online devices.
+        let online = (0..64)
+            .find(|&d| static_m.availability(d, 0) > 0.0)
+            .unwrap();
+        let weights: Vec<u64> = (0..8)
+            .map(|c| m.availability(online, c).to_bits())
+            .collect();
+        assert!(weights.windows(2).any(|w| w[0] != w[1]));
+        // And devices are phase-shifted relative to each other.
+        let online2 = (online + 1..64)
+            .find(|&d| static_m.availability(d, 0) > 0.0)
+            .unwrap();
+        let ratio1 = m.availability(online, 0) / static_m.availability(online, 0);
+        let ratio2 = m.availability(online2, 0) / static_m.availability(online2, 0);
+        assert_ne!(ratio1.to_bits(), ratio2.to_bits(), "phases differ");
     }
 
     #[test]
@@ -169,7 +274,7 @@ mod tests {
         .evict_unsampled();
         assert_eq!(spec.population, 100_000);
         assert!(!spec.retain_clients);
-        assert!(spec.availability.availability(0) <= 1.0);
+        assert!(spec.availability.availability(0, 0) <= 1.0);
     }
 
     #[test]

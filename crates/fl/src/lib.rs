@@ -98,6 +98,10 @@ pub use helios_device::ResourceProfile;
 #[doc(no_inline)]
 pub use helios_net::{FaultConfig, LinkProfile, NetConfig, WireSize};
 #[doc(no_inline)]
+pub use helios_scenario::{
+    ChurnAction, ChurnEvent, DiurnalWave, DriftEvent, DriftKind, ScenarioConfig, ThrottleRule,
+};
+#[doc(no_inline)]
 pub use helios_tensor::ParallelismConfig;
 
 /// Crate-wide result alias carrying an [`FlError`].

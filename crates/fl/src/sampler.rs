@@ -173,7 +173,7 @@ impl ClientSampler {
         match self.config.strategy {
             SamplingStrategy::Uniform => Self::uniform_cohort(population, k, &mut rng),
             SamplingStrategy::WeightedByAvailability => {
-                Self::weighted_cohort(population, k, availability, &mut rng)
+                Self::weighted_cohort(population, k, cycle, availability, &mut rng)
             }
         }
     }
@@ -192,18 +192,21 @@ impl ClientSampler {
 
     /// Efraimidis–Spirakis weighted reservoir: keep the k largest
     /// `u^(1/w)` keys (equivalently `ln(u)/w`), one uniform draw per
-    /// positive-weight device, O(k) reservoir memory.
+    /// positive-weight device, O(k) reservoir memory. The weights are
+    /// the availability model's *per-cycle* values, so a diurnal wave
+    /// biases each cycle's draw toward the devices currently awake.
     fn weighted_cohort(
         population: usize,
         k: usize,
+        cycle: usize,
         availability: &AvailabilityModel,
         rng: &mut TensorRng,
     ) -> Vec<usize> {
         let mut reservoir: BinaryHeap<ReservoirEntry> = BinaryHeap::with_capacity(k + 1);
         for device in 0..population {
-            let w = availability.availability(device);
+            let w = availability.availability(device, cycle);
             if w <= 0.0 {
-                // Permanently offline: no draw, never selected.
+                // Offline this cycle: no draw, never selected.
                 continue;
             }
             let u = rng.unit_f64();
@@ -290,7 +293,7 @@ mod tests {
             assert_eq!(cohort.len(), 200);
             assert!(distinct_sorted(&cohort));
             assert!(
-                cohort.iter().all(|&d| avail.availability(d) > 0.0),
+                cohort.iter().all(|&d| avail.availability(d, cycle) > 0.0),
                 "cycle {cycle} selected an offline device"
             );
         }
@@ -301,7 +304,9 @@ mod tests {
         // Roughly half of 80 devices are offline; asking for more than
         // the available count returns exactly the available set.
         let avail = AvailabilityModel::new(2, 0.5);
-        let available: Vec<usize> = (0..80).filter(|&d| avail.availability(d) > 0.0).collect();
+        let available: Vec<usize> = (0..80)
+            .filter(|&d| avail.availability(d, 0) > 0.0)
+            .collect();
         assert!(available.len() < 70, "fixture needs a short population");
         let s = ClientSampler::new(SamplerConfig::weighted(70), 2);
         let cohort = s.cohort(80, 0, &avail);

@@ -262,6 +262,10 @@ impl HeliosStrategy {
         }
         self.stragglers = ranked;
         self.stragglers.sort_unstable();
+        // Record the classified frontier: devices that join later (the
+        // §VI.C admission path or scenario churn) are measured against
+        // the established pace when they first appear in a cohort.
+        self.classified.extend(0..env.num_clients());
         self.initialized = true;
         Ok(())
     }
@@ -438,14 +442,22 @@ impl RoundPolicy for HeliosStrategy {
         self.initialize(env).map_err(to_fl_error)
     }
 
-    /// Draws the cycle's cohort via [`FlEnv::select_cohort`]; in
-    /// incremental mode, newly sampled devices are classified against
-    /// the established capable pace before training begins.
+    /// Draws the cycle's cohort via [`FlEnv::select_cohort`]; devices
+    /// appearing for the first time (newly sampled in incremental mode,
+    /// or joined mid-run by scenario churn) are classified against the
+    /// established capable pace before training begins. On a static
+    /// fully-classified fleet this is a no-op.
     fn select(&mut self, env: &mut FlEnv, cycle: usize) -> helios_fl::Result<Vec<usize>> {
         let cohort = env.select_cohort(cycle)?;
         if self.incremental {
             self.classify_cohort(env, &cohort).map_err(to_fl_error)?;
             self.last_cohort = cohort.clone();
+        } else if self.initialized {
+            for &i in &cohort {
+                if !self.classified.contains(&i) {
+                    self.classify_device(env, i).map_err(to_fl_error)?;
+                }
+            }
         }
         Ok(cohort)
     }

@@ -40,6 +40,8 @@ struct Summary {
     /// (phase, start, end) in record order.
     phases: Vec<(String, f64, f64)>,
     last_eval: Option<(u64, f64, f64)>,
+    /// Scenario-engine events by kind (churn, throttle, drift).
+    scenario: BTreeMap<String, u64>,
 }
 
 fn summarize(records: &[TraceRecord]) -> Summary {
@@ -49,6 +51,7 @@ fn summarize(records: &[TraceRecord]) -> Summary {
     let mut phases = Vec::new();
     let mut open: Vec<(String, f64)> = Vec::new();
     let mut last_eval = None;
+    let mut scenario: BTreeMap<String, u64> = BTreeMap::new();
 
     for rec in records {
         match &rec.event {
@@ -106,6 +109,9 @@ fn summarize(records: &[TraceRecord]) -> Summary {
                 loss,
                 accuracy,
             } => last_eval = Some((*cycle, *loss, *accuracy)),
+            TraceEvent::ScenarioEvent { kind, .. } => {
+                *scenario.entry(kind.clone()).or_default() += 1;
+            }
             _ => {}
         }
     }
@@ -116,6 +122,7 @@ fn summarize(records: &[TraceRecord]) -> Summary {
         span_s,
         phases,
         last_eval,
+        scenario,
     }
 }
 
@@ -180,6 +187,19 @@ fn print_report(summary: &Summary) {
         "faults: {} dropped/corrupted   retries: {}   timeouts: {}   failed sends: {}",
         totals.0, totals.1, totals.2, totals.3
     );
+
+    if !summary.scenario.is_empty() {
+        let parts: Vec<String> = summary
+            .scenario
+            .iter()
+            .map(|(k, n)| format!("{k}: {n}"))
+            .collect();
+        println!(
+            "scenario events: {}   ({})",
+            summary.scenario.values().sum::<u64>(),
+            parts.join(", ")
+        );
+    }
 
     // ASCII Gantt of the driver phases, scaled to the trace's span.
     if summary.phases.is_empty() {
@@ -284,6 +304,32 @@ fn validate(records: &[TraceRecord]) -> Result<(), String> {
         ));
     }
 
+    // 4. Scenario events carry a known kind and a finite value.
+    const SCENARIO_KINDS: [&str; 6] = [
+        "join",
+        "leave",
+        "return",
+        "throttle",
+        "drift_label_rotate",
+        "drift_input_shift",
+    ];
+    for (i, rec) in records.iter().enumerate() {
+        if let TraceEvent::ScenarioEvent { kind, value, .. } = &rec.event {
+            if !SCENARIO_KINDS.contains(&kind.as_str()) {
+                return Err(format!(
+                    "record {}: unknown scenario event kind `{kind}`",
+                    i + 1
+                ));
+            }
+            if !value.is_finite() {
+                return Err(format!(
+                    "record {}: scenario event `{kind}` has non-finite value {value}",
+                    i + 1
+                ));
+            }
+        }
+    }
+
     Ok(())
 }
 
@@ -303,7 +349,7 @@ fn run() -> Result<(), String> {
 
     if do_validate {
         validate(&records).map_err(|e| format!("{path}: INVALID: {e}"))?;
-        println!("{path}: OK ({} records, schema + monotone sim-time + phase nesting + terminal outcomes)", records.len());
+        println!("{path}: OK ({} records, schema + monotone sim-time + phase nesting + terminal outcomes + scenario kinds)", records.len());
         return Ok(());
     }
 
@@ -411,6 +457,52 @@ mod tests {
         assert_eq!(d.retries, 1);
         assert_eq!(d.delivered, 1);
         assert_eq!(summary.phases.len(), 1);
+    }
+
+    #[test]
+    fn scenario_events_summarize_and_validate() {
+        let mut records = healthy_trace();
+        records.insert(
+            0,
+            rec(
+                0.0,
+                TraceEvent::ScenarioEvent {
+                    cycle: 0,
+                    kind: "throttle".into(),
+                    device: Some(1),
+                    value: 0.8,
+                },
+            ),
+        );
+        validate(&records).expect("valid");
+        let summary = summarize(&records);
+        assert_eq!(summary.scenario.get("throttle"), Some(&1));
+
+        // An unknown kind is rejected.
+        records[0] = rec(
+            0.0,
+            TraceEvent::ScenarioEvent {
+                cycle: 0,
+                kind: "meteor_strike".into(),
+                device: None,
+                value: 1.0,
+            },
+        );
+        let err = validate(&records).expect_err("unknown kind");
+        assert!(err.contains("meteor_strike"), "{err}");
+
+        // A non-finite value is rejected.
+        records[0] = rec(
+            0.0,
+            TraceEvent::ScenarioEvent {
+                cycle: 0,
+                kind: "throttle".into(),
+                device: None,
+                value: f64::NAN,
+            },
+        );
+        let err = validate(&records).expect_err("non-finite value");
+        assert!(err.contains("non-finite"), "{err}");
     }
 
     #[test]

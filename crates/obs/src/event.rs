@@ -214,6 +214,22 @@ pub enum TraceEvent {
         /// Client/device id.
         device: u64,
     },
+    /// The scenario engine applied a timeline event (churn, throttle,
+    /// drift). Emitted serially at the driver's hook points, so traces
+    /// stay byte-identical across thread counts.
+    ScenarioEvent {
+        /// Cycle index at which the event was applied.
+        cycle: u64,
+        /// Stable event identifier (`join`, `leave`, `return`,
+        /// `throttle`, `drift_label_rotate`, `drift_input_shift`).
+        kind: String,
+        /// Affected device, when the event is device-scoped (`None` for
+        /// fleet-wide effects such as drift or a fleet-wide throttle).
+        device: Option<u64>,
+        /// Event magnitude: current scale for `throttle`, drift amount
+        /// for drift kinds, the device id count for `join`, else `0`.
+        value: f64,
+    },
 }
 
 impl TraceEvent {
@@ -239,6 +255,7 @@ impl TraceEvent {
             TraceEvent::EvalDone { .. } => "EvalDone",
             TraceEvent::RoundEnd { .. } => "RoundEnd",
             TraceEvent::DeviceJoined { .. } => "DeviceJoined",
+            TraceEvent::ScenarioEvent { .. } => "ScenarioEvent",
         }
     }
 
@@ -258,6 +275,7 @@ impl TraceEvent {
             | TraceEvent::UpdateAggregated { device, .. }
             | TraceEvent::SkipSettled { device, .. }
             | TraceEvent::DeviceJoined { device } => Some(*device),
+            TraceEvent::ScenarioEvent { device, .. } => *device,
             _ => None,
         }
     }
@@ -274,7 +292,8 @@ impl TraceEvent {
             | TraceEvent::UpdateAggregated { cycle, .. }
             | TraceEvent::SkipSettled { cycle, .. }
             | TraceEvent::EvalDone { cycle, .. }
-            | TraceEvent::RoundEnd { cycle, .. } => Some(*cycle),
+            | TraceEvent::RoundEnd { cycle, .. }
+            | TraceEvent::ScenarioEvent { cycle, .. } => Some(*cycle),
             _ => None,
         }
     }
@@ -437,6 +456,18 @@ impl Serialize for TraceEvent {
                 ("missed", u(*missed)),
             ]),
             TraceEvent::DeviceJoined { device } => map(vec![kind, ("device", u(*device))]),
+            TraceEvent::ScenarioEvent {
+                cycle,
+                kind: scenario_kind,
+                device,
+                value,
+            } => map(vec![
+                kind,
+                ("cycle", u(*cycle)),
+                ("kind", s(scenario_kind)),
+                ("device", device.map_or(Value::Null, u)),
+                ("value", f(*value)),
+            ]),
         }
     }
 }
@@ -471,6 +502,18 @@ fn get_str<'a>(pairs: &'a [(String, Value)], key: &str) -> Result<&'a str, de::E
         Value::Str(v) => Ok(v),
         other => Err(de::Error::custom(format!(
             "field `{key}` is not a string: {other:?}"
+        ))),
+    }
+}
+
+/// Optional device field: absent or `null` reads as `None`.
+fn get_opt_u64(pairs: &[(String, Value)], key: &str) -> Result<Option<u64>, de::Error> {
+    match find(pairs, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::UInt(v)) => Ok(Some(*v)),
+        Some(Value::Int(v)) if *v >= 0 => Ok(Some(*v as u64)),
+        Some(other) => Err(de::Error::custom(format!(
+            "field `{key}` is not an unsigned integer or null: {other:?}"
         ))),
     }
 }
@@ -579,6 +622,12 @@ impl Deserialize for TraceEvent {
             },
             "DeviceJoined" => TraceEvent::DeviceJoined {
                 device: get_u64(p, "device")?,
+            },
+            "ScenarioEvent" => TraceEvent::ScenarioEvent {
+                cycle: get_u64(p, "cycle")?,
+                kind: get_str(p, "kind")?.to_string(),
+                device: get_opt_u64(p, "device")?,
+                value: get_f64(p, "value")?,
             },
             other => return Err(de::Error::custom(format!("unknown event type `{other}`"))),
         })
@@ -701,6 +750,18 @@ mod tests {
                 missed: 1,
             },
             TraceEvent::DeviceJoined { device: 4 },
+            TraceEvent::ScenarioEvent {
+                cycle: 3,
+                kind: "throttle".into(),
+                device: Some(2),
+                value: 0.75,
+            },
+            TraceEvent::ScenarioEvent {
+                cycle: 4,
+                kind: "drift_label_rotate".into(),
+                device: None,
+                value: 1.0,
+            },
         ]
     }
 

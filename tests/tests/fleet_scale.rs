@@ -64,7 +64,14 @@ fn lazy_and_eager_twin(spec: &FleetSpec, config: FlConfig) -> (FlEnv, FlEnv) {
     let shards: Vec<Dataset> = (0..spec.population)
         .map(|i| spec.shards.shard(i).expect("shard"))
         .collect();
-    let eager = FlEnv::new(ModelKind::LeNet, fleet, shards, test.clone(), config).expect("eager");
+    let eager = FlEnv::new(
+        ModelKind::LeNet,
+        fleet,
+        shards,
+        test.clone(),
+        config.clone(),
+    )
+    .expect("eager");
     let lazy = FlEnv::new_lazy(ModelKind::LeNet, spec.clone(), test, config).expect("lazy");
     (lazy, eager)
 }
@@ -258,7 +265,7 @@ fn weighted_sampling_never_selects_offline_devices_end_to_end() {
         assert_eq!(cohort.len(), 10);
         for &d in &cohort {
             assert!(
-                availability.availability(d) > 0.0,
+                availability.availability(d, cycle) > 0.0,
                 "cycle {cycle} drew permanently offline device {d}"
             );
         }
