@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI gate for the Helios workspace: formatting, lints (including an
 # unwrap/expect deny gate for crates/fl and crates/net non-test code),
-# docs, build, tests, the thread-scaling microbench (emits
-# results/BENCH_parallel.json), the network-simulation bench (emits
+# docs, build, tests, the kernel-throughput + thread-scaling microbench
+# (emits results/BENCH_parallel.json and self-checks that the blocked
+# GEMM beats the naive reference >= 3x geomean on alexnet-class
+# shapes), the network-simulation bench (emits
 # results/BENCH_net.json and self-checks that a soft-trained straggler's
 # upload frame is smaller than the full-model frame), and the
 # round-engine phase bench (emits results/BENCH_engine.json and
@@ -62,7 +64,10 @@ step "cargo test -q"
 cargo test -q --workspace
 
 if [ "$SKIP_BENCH" -eq 0 ]; then
-    step "thread-scaling microbench (results/BENCH_parallel.json)"
+    step "kernel-throughput + thread-scaling microbench (results/BENCH_parallel.json)"
+    # bench_parallel self-checks and exits nonzero unless the blocked
+    # GEMM kernel's single-core flops/s beats the pinned naive reference
+    # by >= 3x geomean (1.8x per shape) on the alexnet-class shapes.
     cargo run --release -p helios-bench --bin bench_parallel
 
     step "network-simulation bench (results/BENCH_net.json)"

@@ -13,6 +13,13 @@ use helios_tensor::{map_items_mut, ParallelismConfig, TensorRng};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+/// Bandwidth a link collapses to during a scenario outage window. The
+/// link model rejects an exact zero (transfer time would be infinite in
+/// a way the scheduler cannot rank), so an outage is "one microbit per
+/// second": finite, deterministic, and slower than any real profile by
+/// many orders of magnitude.
+const OUTAGE_TRICKLE_BPS: f64 = 1e-6;
+
 /// Hyper-parameters shared by every strategy run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlConfig {
@@ -872,19 +879,47 @@ impl FlEnv {
                 }
             }
         }
-        // Bandwidth throttling scales the configured base link; skipped
-        // when networking is disabled or the base bandwidth is
-        // unlimited (there is nothing to scale down).
-        if self.transport.is_some() && !scenario.throttle.is_empty() {
+        // Bandwidth throttling scales the configured base link; an
+        // outage window overrides everything and collapses the link to
+        // a near-zero trickle (the link model rejects an exact zero).
+        // Skipped when networking is disabled; throttling additionally
+        // needs a finite base bandwidth (there is nothing to scale
+        // down on an unlimited link), but an outage clamps even an
+        // unlimited link.
+        if self.transport.is_some()
+            && !(scenario.throttle.is_empty() && scenario.outages.is_empty())
+        {
             let base = self.config.net.link;
-            if let Some(bw) = base.bandwidth_bps {
-                for &p in participants {
+            for &p in participants {
+                let outage = scenario
+                    .outages
+                    .iter()
+                    .any(|o| o.contains(cycle) && o.applies_to(p));
+                let mut link = base;
+                if outage {
+                    link.bandwidth_bps = Some(OUTAGE_TRICKLE_BPS);
+                } else if let Some(bw) = base.bandwidth_bps {
                     let s = Self::combined_bandwidth_scale(&scenario, p, cycle);
-                    if s != 1.0 {
-                        let mut link = base;
-                        link.bandwidth_bps = Some(bw * s);
-                        self.set_link(p, link)?;
-                    }
+                    link.bandwidth_bps = Some(bw * s);
+                }
+                // With outages on the timeline the link is re-asserted
+                // every cycle: the first cycle after a window closes
+                // must restore the scenario-scaled profile. Without
+                // outages, only actually-scaled links are touched
+                // (identical behavior to the pre-outage engine).
+                if !scenario.outages.is_empty() || link.bandwidth_bps != base.bandwidth_bps {
+                    self.set_link(p, link)?;
+                }
+            }
+            for o in &scenario.outages {
+                if o.contains(cycle) {
+                    let device = o.device.map(|d| d as u64);
+                    helios_obs::emit(|| helios_obs::TraceEvent::ScenarioEvent {
+                        cycle: cycle as u64,
+                        kind: "outage".into(),
+                        device,
+                        value: 0.0,
+                    });
                 }
             }
         }

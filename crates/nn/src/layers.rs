@@ -255,9 +255,12 @@ impl Dense {
             }
             None => grad_out.clone(),
         };
-        self.grad_weight.axpy(1.0, &x.transpose()?.matmul(&g)?)?;
+        // dW = xᵀ·g and dX = g·Wᵀ via the transposed-operand GEMM entry
+        // points: the kernel reads `x` and `weight` where they lie, no
+        // materialized `transpose()` copies on the training path.
+        self.grad_weight.axpy(1.0, &x.matmul_tn(&g)?)?;
         self.grad_bias.axpy(1.0, &g.sum_rows()?)?;
-        Ok(g.matmul(&self.weight.transpose()?)?)
+        Ok(g.matmul_nt(&self.weight)?)
     }
 
     /// Packed backward: masked output gradients are definitionally
@@ -294,7 +297,7 @@ impl Dense {
             }
             None => x,
         };
-        let gw_p = x_p.transpose()?.matmul(g_p)?;
+        let gw_p = x_p.matmul_tn(g_p)?;
         scatter_add_rows_cols(&mut self.grad_weight, &gw_p, in_idx, out_idx)?;
         let gb_p = g_p.sum_rows()?;
         match out_idx {
@@ -309,7 +312,7 @@ impl Dense {
             }
             None => &self.weight,
         };
-        Ok(g_p.matmul(&w_rows.transpose()?)?)
+        Ok(g_p.matmul_nt(w_rows)?)
     }
 
     pub(crate) fn zero_grad(&mut self) {

@@ -150,6 +150,38 @@ impl ThrottleRule {
     }
 }
 
+/// A scheduled link outage: the affected device's (or the whole
+/// fleet's) simulated transport bandwidth collapses to a near-zero
+/// trickle for every cycle in `[from_cycle, until_cycle)`, then
+/// restores to the device's scenario-scaled profile. Outages model
+/// backhaul failures and tunnels-without-coverage — the device still
+/// *trains*, it just cannot move bytes at any useful rate, so the
+/// round driver's straggler policies see it as an extreme laggard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// First cycle of the outage (inclusive).
+    pub from_cycle: usize,
+    /// First cycle after the outage (exclusive).
+    pub until_cycle: usize,
+    /// Affected device; `None` blacks out the whole fleet.
+    #[serde(default)]
+    pub device: Option<usize>,
+}
+
+impl OutageWindow {
+    /// Whether the outage is in force at `cycle`.
+    #[must_use]
+    pub fn contains(&self, cycle: usize) -> bool {
+        (self.from_cycle..self.until_cycle).contains(&cycle)
+    }
+
+    /// Whether the window affects `device`.
+    #[must_use]
+    pub fn applies_to(&self, device: usize) -> bool {
+        self.device.is_none_or(|d| d == device)
+    }
+}
+
 /// Which statistical property of the data a [`DriftEvent`] shifts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DriftKind {
@@ -237,6 +269,9 @@ pub struct ScenarioConfig {
     /// Battery/thermal throttling curves.
     #[serde(default)]
     pub throttle: Vec<ThrottleRule>,
+    /// Scheduled link-outage windows.
+    #[serde(default)]
+    pub outages: Vec<OutageWindow>,
     /// Scheduled label/concept drift events.
     #[serde(default)]
     pub drift: Vec<DriftEvent>,
@@ -252,6 +287,7 @@ impl Default for ScenarioConfig {
             churn: Vec::new(),
             diurnal: None,
             throttle: Vec::new(),
+            outages: Vec::new(),
             drift: Vec::new(),
             drift_test_set: true,
         }
@@ -266,6 +302,7 @@ impl ScenarioConfig {
         self.churn.is_empty()
             && self.diurnal.is_none()
             && self.throttle.is_empty()
+            && self.outages.is_empty()
             && self.drift.is_empty()
     }
 
@@ -360,6 +397,22 @@ impl ScenarioConfig {
                     return Err(invalid(format!(
                         "throttle rule {i}: device {d} does not exist at cycle {}",
                         r.start_cycle
+                    )));
+                }
+            }
+        }
+        for (i, o) in self.outages.iter().enumerate() {
+            if o.until_cycle <= o.from_cycle {
+                return Err(invalid(format!(
+                    "outage {i}: window [{}, {}) is empty",
+                    o.from_cycle, o.until_cycle
+                )));
+            }
+            if let Some(d) = o.device {
+                if d >= self.population_at(initial_population, o.from_cycle) {
+                    return Err(invalid(format!(
+                        "outage {i}: device {d} does not exist at cycle {}",
+                        o.from_cycle
                     )));
                 }
             }
@@ -672,6 +725,70 @@ mod tests {
             ..ScenarioConfig::default()
         };
         assert!(nan_drift.validate(4).is_err());
+    }
+
+    #[test]
+    fn outage_windows_are_half_open_and_validated() {
+        let o = OutageWindow {
+            from_cycle: 2,
+            until_cycle: 5,
+            device: Some(1),
+        };
+        assert!(!o.contains(1));
+        assert!(o.contains(2));
+        assert!(o.contains(4));
+        assert!(!o.contains(5), "until_cycle is exclusive");
+        assert!(o.applies_to(1));
+        assert!(!o.applies_to(2));
+        assert!(
+            OutageWindow { device: None, ..o }.applies_to(2),
+            "fleet-wide outage applies to everyone"
+        );
+
+        let ok = ScenarioConfig {
+            outages: vec![o],
+            ..ScenarioConfig::default()
+        };
+        assert!(!ok.is_empty());
+        assert!(ok.validate(4).is_ok());
+
+        let empty_window = ScenarioConfig {
+            outages: vec![OutageWindow {
+                from_cycle: 3,
+                until_cycle: 3,
+                device: None,
+            }],
+            ..ScenarioConfig::default()
+        };
+        assert!(empty_window.validate(4).is_err(), "empty window");
+
+        let ghost = ScenarioConfig {
+            outages: vec![OutageWindow {
+                from_cycle: 0,
+                until_cycle: 2,
+                device: Some(9),
+            }],
+            ..ScenarioConfig::default()
+        };
+        assert!(ghost.validate(4).is_err(), "device does not exist");
+
+        // A device enrolled by an earlier join may be targeted.
+        let late = ScenarioConfig {
+            churn: vec![join(1, 8)],
+            outages: vec![OutageWindow {
+                from_cycle: 2,
+                until_cycle: 4,
+                device: Some(9),
+            }],
+            ..ScenarioConfig::default()
+        };
+        assert!(late.validate(4).is_ok());
+
+        // Serde: `device` defaults to fleet-wide.
+        let parsed: ScenarioConfig =
+            serde_json::from_str(r#"{"outages": [{"from_cycle": 1, "until_cycle": 3}]}"#).unwrap();
+        assert_eq!(parsed.outages.len(), 1);
+        assert!(parsed.outages[0].device.is_none());
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! rank-2 `[out_channels, in_channels * kh * kw]` matrix so the forward
 //! pass is a single matrix product over the unrolled patches.
 
+use crate::gemm::{gemm_into, Layout};
 use crate::parallel::{for_each_block, for_each_block2};
+use crate::workspace::{with_scratch, with_scratch_dirty};
 use crate::{Result, Tensor, TensorError};
 use serde::{Deserialize, Serialize};
 
@@ -108,8 +110,13 @@ fn check_nchw(op: &'static str, t: &Tensor) -> Result<(usize, usize, usize, usiz
     Ok((d[0], d[1], d[2], d[3]))
 }
 
-/// Unrolls `[N, C, H, W]` input patches into a `[N*OH*OW, C*K*K]` matrix.
-fn im2col(input: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
+/// Unrolls `[N, C, H, W]` input patches into the `[N*OH*OW, C*K*K]`
+/// matrix `cols`, which must arrive zero-filled — the padding positions
+/// of each patch are simply never written. Callers check `cols` out of
+/// the workspace arena ([`with_scratch`]), so the steady-state training
+/// path reuses one buffer cycle after cycle instead of allocating a
+/// multi-megabyte `Vec` per forward/backward.
+fn im2col_into(cols: &mut [f32], input: &Tensor, spec: &ConvSpec) -> Result<()> {
     let (n, c, h, w) = check_nchw("im2col", input)?;
     if c != spec.in_channels {
         return Err(TensorError::ShapeMismatch {
@@ -122,10 +129,14 @@ fn im2col(input: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
     let k = spec.kernel;
     let pl = spec.patch_len();
     let x = input.as_slice();
-    let mut cols = vec![0.0f32; n * oh * ow * pl];
+    debug_assert_eq!(
+        cols.len(),
+        n * oh * ow * pl,
+        "cols must be [N*OH*OW, C*K*K]"
+    );
     // Parallel over batch items: each item's rows live in a disjoint
     // slice of `cols`, so workers never share output elements.
-    for_each_block(&mut cols, oh * ow * pl, oh * ow * pl, |first, chunk| {
+    for_each_block(cols, oh * ow * pl, oh * ow * pl, |first, chunk| {
         for (bi, item) in chunk.chunks_mut(oh * ow * pl).enumerate() {
             let ni = first + bi;
             for oy in 0..oh {
@@ -153,28 +164,22 @@ fn im2col(input: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
             }
         }
     });
-    Tensor::from_vec(cols, &[n * oh * ow, pl])
+    Ok(())
 }
 
-/// Scatter-adds a `[N*OH*OW, C*K*K]` column matrix back into `[N, C, H, W]`.
-fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> Result<Tensor> {
+/// Scatter-adds a `[N*OH*OW, C*K*K]` column matrix into the
+/// `[N, C, H, W]` buffer `out` (which the caller supplies zero-filled).
+fn col2im_into(out: &mut [f32], cs: &[f32], spec: &ConvSpec, n: usize, h: usize, w: usize) {
     let (oh, ow) = spec.output_hw(h, w);
     let c = spec.in_channels;
     let k = spec.kernel;
     let pl = spec.patch_len();
-    if cols.dims() != [n * oh * ow, pl] {
-        return Err(TensorError::ShapeMismatch {
-            op: "col2im",
-            lhs: cols.dims().to_vec(),
-            rhs: vec![n * oh * ow, pl],
-        });
-    }
-    let cs = cols.as_slice();
-    let mut out = vec![0.0f32; n * c * h * w];
+    debug_assert_eq!(cs.len(), n * oh * ow * pl, "cols must be [N*OH*OW, C*K*K]");
+    debug_assert_eq!(out.len(), n * c * h * w, "out must be [N, C, H, W]");
     // Parallel over batch items: the scatter-add for item `ni` only
     // touches `out[ni * c*h*w ..]`, so per-item chunks are disjoint and
     // the within-item accumulation order matches the serial loop.
-    for_each_block(&mut out, c * h * w, oh * ow * pl, |first, chunk| {
+    for_each_block(out, c * h * w, oh * ow * pl, |first, chunk| {
         for (bi, item) in chunk.chunks_mut(c * h * w).enumerate() {
             let ni = first + bi;
             for oy in 0..oh {
@@ -201,7 +206,6 @@ fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> Resul
             }
         }
     });
-    Tensor::from_vec(out, &[n, c, h, w])
 }
 
 /// 2-D convolution forward pass.
@@ -247,27 +251,47 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
         });
     }
     let (oh, ow) = spec.output_hw(h, w);
-    let cols = im2col(input, spec)?;
-    // [N*OH*OW, CKK] × [CKK, O] → [N*OH*OW, O]
-    let prod = cols.matmul(&weight.transpose()?)?;
-    let p = prod.as_slice();
-    let b = bias.as_slice();
     let o = spec.out_channels;
+    let pl = spec.patch_len();
+    let rows_n = n * oh * ow;
+    let b = bias.as_slice();
     let mut out = vec![0.0f32; n * o * oh * ow];
-    // Parallel over batch items: relayout rows → NCHW plus bias.
-    for_each_block(&mut out, o * oh * ow, o * oh * ow, |first, chunk| {
-        for (bi, item) in chunk.chunks_mut(o * oh * ow).enumerate() {
-            let ni = first + bi;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = ((ni * oh + oy) * ow + ox) * o;
-                    for oc in 0..o {
-                        item[(oc * oh + oy) * ow + ox] = p[row + oc] + b[oc];
+    // Both the patch matrix and the GEMM product are transient: they
+    // come from the workspace arena, so steady-state training reuses the
+    // same buffers every cycle.
+    with_scratch(rows_n * pl, |cols| -> Result<()> {
+        im2col_into(cols, input, spec)?;
+        with_scratch(rows_n * o, |prod| {
+            // [N*OH*OW, CKK] × [CKK, O] → [N*OH*OW, O]. The weight is
+            // stored `[O, CKK]` — the logical B transposed — and the
+            // kernel reads it in place; no materialized `transpose()`.
+            gemm_into(
+                prod,
+                rows_n,
+                pl,
+                o,
+                cols,
+                Layout::Normal,
+                weight.as_slice(),
+                Layout::Transposed,
+            );
+            // Parallel over batch items: relayout rows → NCHW plus bias.
+            for_each_block(&mut out, o * oh * ow, o * oh * ow, |first, chunk| {
+                for (bi, item) in chunk.chunks_mut(o * oh * ow).enumerate() {
+                    let ni = first + bi;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let row = ((ni * oh + oy) * ow + ox) * o;
+                            for oc in 0..o {
+                                item[(oc * oh + oy) * ow + ox] = prod[row + oc] + b[oc];
+                            }
+                        }
                     }
                 }
-            }
-        }
-    });
+            });
+        });
+        Ok(())
+    })?;
     Tensor::from_vec(out, &[n, o, oh, ow])
 }
 
@@ -297,22 +321,9 @@ pub fn conv2d_backward(
         });
     }
     let o = spec.out_channels;
-    // Re-layout grad_output from NCHW to rows [N*OH*OW, O], parallel
-    // over batch items (disjoint row blocks per item).
+    let pl = spec.patch_len();
+    let rows_n = n * oh * ow;
     let g = grad_output.as_slice();
-    let mut rows = vec![0.0f32; n * oh * ow * o];
-    for_each_block(&mut rows, oh * ow * o, oh * ow * o, |first, chunk| {
-        for (bi, item) in chunk.chunks_mut(oh * ow * o).enumerate() {
-            let ni = first + bi;
-            for oc in 0..o {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        item[(oy * ow + ox) * o + oc] = g[((ni * o + oc) * oh + oy) * ow + ox];
-                    }
-                }
-            }
-        }
-    });
     // Bias gradient, parallel over output channels. For each channel the
     // additions run in ascending (ni, oy, ox) order — the same order the
     // serial relayout loop used — so sums are bitwise stable.
@@ -329,16 +340,61 @@ pub fn conv2d_backward(
             }
         }
     });
-    let grad_rows = Tensor::from_vec(rows, &[n * oh * ow, o])?;
-    let cols = im2col(input, spec)?;
-    // dW = gradᵀ × cols : [O, N*OH*OW] × [N*OH*OW, CKK] → [O, CKK]
-    let grad_weight = grad_rows.transpose()?.matmul(&cols)?;
-    // dcols = grad × W : [N*OH*OW, O] × [O, CKK] → [N*OH*OW, CKK]
-    let dcols = grad_rows.matmul(weight)?;
-    let grad_input = col2im(&dcols, spec, n, h, w)?;
+    let mut grad_weight = vec![0.0f32; o * pl];
+    let mut grad_input = vec![0.0f32; input.len()];
+    // The relayouted gradient, the patch matrix, and `dcols` are all
+    // transient workspace; `rows` is written in full by the relayout, so
+    // it skips even the zero-fill.
+    with_scratch_dirty(rows_n * o, |rows| -> Result<()> {
+        // Re-layout grad_output from NCHW to rows [N*OH*OW, O], parallel
+        // over batch items (disjoint row blocks per item).
+        for_each_block(rows, oh * ow * o, oh * ow * o, |first, chunk| {
+            for (bi, item) in chunk.chunks_mut(oh * ow * o).enumerate() {
+                let ni = first + bi;
+                for oc in 0..o {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            item[(oy * ow + ox) * o + oc] = g[((ni * o + oc) * oh + oy) * ow + ox];
+                        }
+                    }
+                }
+            }
+        });
+        with_scratch(rows_n * pl, |cols| -> Result<()> {
+            im2col_into(cols, input, spec)?;
+            // dW = gradᵀ × cols : [O, N*OH*OW] × [N*OH*OW, CKK] →
+            // [O, CKK]. `rows` stores the logical Aᵀ; read in place.
+            gemm_into(
+                &mut grad_weight,
+                o,
+                rows_n,
+                pl,
+                rows,
+                Layout::Transposed,
+                cols,
+                Layout::Normal,
+            );
+            Ok(())
+        })?;
+        with_scratch(rows_n * pl, |dcols| {
+            // dcols = grad × W : [N*OH*OW, O] × [O, CKK] → [N*OH*OW, CKK]
+            gemm_into(
+                dcols,
+                rows_n,
+                o,
+                pl,
+                rows,
+                Layout::Normal,
+                weight.as_slice(),
+                Layout::Normal,
+            );
+            col2im_into(&mut grad_input, dcols, spec, n, h, w);
+        });
+        Ok(())
+    })?;
     Ok(Conv2dGrads {
-        grad_input,
-        grad_weight,
+        grad_input: Tensor::from_vec(grad_input, &[n, spec.in_channels, h, w])?,
+        grad_weight: Tensor::from_vec(grad_weight, &[o, pl])?,
         grad_bias: Tensor::from_vec(grad_bias, &[o])?,
     })
 }
@@ -415,23 +471,9 @@ pub fn conv2d_backward_packed(
             ),
         });
     }
-    // Re-layout the packed grad from NCHW to rows [N*OH*OW, Oa] and
-    // accumulate the packed bias gradient — the same loops as
+    // Accumulate the packed bias gradient — the same loop as
     // `conv2d_backward` with `o := oa`, so per-element order matches.
     let g = grad_output_packed.as_slice();
-    let mut rows = vec![0.0f32; n * oh * ow * oa];
-    for_each_block(&mut rows, oh * ow * oa, oh * ow * oa, |first, chunk| {
-        for (bi, item) in chunk.chunks_mut(oh * ow * oa).enumerate() {
-            let ni = first + bi;
-            for oc in 0..oa {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        item[(oy * ow + ox) * oa + oc] = g[((ni * oa + oc) * oh + oy) * ow + ox];
-                    }
-                }
-            }
-        }
-    });
     let mut grad_bias = vec![0.0f32; oa];
     for_each_block(&mut grad_bias, 1, n * oh * ow, |first, chunk| {
         for (bi, acc) in chunk.iter_mut().enumerate() {
@@ -445,27 +487,74 @@ pub fn conv2d_backward_packed(
             }
         }
     });
-    let grad_rows = Tensor::from_vec(rows, &[n * oh * ow, oa])?;
-    // Patch matrix over the *active* input channels only: identical
-    // entries to the active column blocks of the full im2col, in the
-    // same relative order, because the column layout is channel-major.
-    let packed_in_spec = ConvSpec {
-        in_channels: ca,
-        out_channels: oa,
-        kernel: spec.kernel,
-        stride: spec.stride,
-        padding: spec.padding,
-    };
-    let cols_p = im2col(input_packed, &packed_in_spec)?;
-    // dW_p = grad_pᵀ × cols_p : [Oa, N*OH*OW] × [N*OH*OW, Ca*KK]
-    let grad_weight = grad_rows.transpose()?.matmul(&cols_p)?;
-    // dcols = grad_p × W_rows : [N*OH*OW, Oa] × [Oa, C*KK] — full input
-    // columns, so col2im reproduces the full-shape grad_input exactly.
-    let dcols = grad_rows.matmul(weight_rows)?;
-    let grad_input = col2im(&dcols, spec, n, h, w)?;
+    let pl = spec.patch_len();
+    let pl_p = ca * spec.kernel * spec.kernel;
+    let rows_n = n * oh * ow;
+    let mut grad_weight = vec![0.0f32; oa * pl_p];
+    let mut grad_input = vec![0.0f32; n * spec.in_channels * h * w];
+    with_scratch_dirty(rows_n * oa, |rows| -> Result<()> {
+        // Re-layout the packed grad from NCHW to rows [N*OH*OW, Oa] —
+        // the same loop as `conv2d_backward`, so per-element order
+        // matches.
+        for_each_block(rows, oh * ow * oa, oh * ow * oa, |first, chunk| {
+            for (bi, item) in chunk.chunks_mut(oh * ow * oa).enumerate() {
+                let ni = first + bi;
+                for oc in 0..oa {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            item[(oy * ow + ox) * oa + oc] =
+                                g[((ni * oa + oc) * oh + oy) * ow + ox];
+                        }
+                    }
+                }
+            }
+        });
+        // Patch matrix over the *active* input channels only: identical
+        // entries to the active column blocks of the full im2col, in the
+        // same relative order, because the column layout is channel-major.
+        let packed_in_spec = ConvSpec {
+            in_channels: ca,
+            out_channels: oa,
+            kernel: spec.kernel,
+            stride: spec.stride,
+            padding: spec.padding,
+        };
+        with_scratch(rows_n * pl_p, |cols_p| -> Result<()> {
+            im2col_into(cols_p, input_packed, &packed_in_spec)?;
+            // dW_p = grad_pᵀ × cols_p : [Oa, N*OH*OW] × [N*OH*OW, Ca*KK]
+            gemm_into(
+                &mut grad_weight,
+                oa,
+                rows_n,
+                pl_p,
+                rows,
+                Layout::Transposed,
+                cols_p,
+                Layout::Normal,
+            );
+            Ok(())
+        })?;
+        with_scratch(rows_n * pl, |dcols| {
+            // dcols = grad_p × W_rows : [N*OH*OW, Oa] × [Oa, C*KK] —
+            // full input columns, so col2im reproduces the full-shape
+            // grad_input exactly.
+            gemm_into(
+                dcols,
+                rows_n,
+                oa,
+                pl,
+                rows,
+                Layout::Normal,
+                weight_rows.as_slice(),
+                Layout::Normal,
+            );
+            col2im_into(&mut grad_input, dcols, spec, n, h, w);
+        });
+        Ok(())
+    })?;
     Ok(Conv2dPackedGrads {
-        grad_input,
-        grad_weight,
+        grad_input: Tensor::from_vec(grad_input, &[n, spec.in_channels, h, w])?,
+        grad_weight: Tensor::from_vec(grad_weight, &[oa, pl_p])?,
         grad_bias: Tensor::from_vec(grad_bias, &[oa])?,
     })
 }

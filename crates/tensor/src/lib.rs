@@ -32,6 +32,7 @@
 
 mod conv;
 mod error;
+mod gemm;
 mod init;
 mod instrument;
 mod ops;
@@ -39,12 +40,14 @@ mod packed;
 mod parallel;
 mod shape;
 mod tensor;
+mod workspace;
 
 pub use conv::{
     avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, conv2d_backward_packed, max_pool2d,
     max_pool2d_backward, Conv2dGrads, Conv2dPackedGrads, ConvSpec, PoolIndices, PoolSpec,
 };
 pub use error::TensorError;
+pub use gemm::{naive_matmul, KC, MR, NR};
 pub use init::{he_normal, uniform_init, xavier_uniform, TensorRng};
 pub use instrument::{kernel_counters, reset_kernel_counters, KernelCounters};
 pub use packed::{
@@ -52,11 +55,12 @@ pub use packed::{
     scatter_channels, scatter_cols,
 };
 pub use parallel::{
-    current_threads, for_each_block, for_each_block2, map_indexed, map_items_mut,
-    ParallelismConfig, ParallelismGuard,
+    current_threads, for_each_block, for_each_block2, for_each_block_aligned, map_indexed,
+    map_items_mut, ParallelismConfig, ParallelismGuard,
 };
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::{reset_workspace_stats, workspace_stats, WorkspaceStats};
 
 /// Crate-wide result alias carrying a [`TensorError`].
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,16 +1,28 @@
 //! Linear-algebra and reduction operations on [`Tensor`].
 
-use crate::parallel::for_each_block;
+use crate::gemm::{gemm_into, Layout};
 use crate::{Result, Tensor, TensorError};
+
+fn check_rank2(op: &'static str, t: &Tensor) -> Result<()> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.shape().rank(),
+        });
+    }
+    Ok(())
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
-    /// The inner loop is written in `i-k-j` order so the compiler can
-    /// vectorize the row-wise accumulation; this is the hot path of every
-    /// dense layer in the workspace. Rows of the output are computed in
-    /// parallel (each worker owns a disjoint row block, so results are
-    /// bitwise identical to serial execution — see [`crate::ParallelismConfig`]).
+    /// Runs on the blocked, cache-aware kernel in [`crate::gemm`]: packed
+    /// operand panels, a register microkernel, and row-parallel workers.
+    /// Results are bitwise identical to [`crate::naive_matmul`] at every
+    /// thread width — accumulation stays in strictly ascending-`k` order
+    /// with the `a_ik == 0.0` skip — see the module docs for why that
+    /// invariant is load-bearing.
     ///
     /// # Errors
     ///
@@ -18,20 +30,8 @@ impl Tensor {
     /// rank 2 and [`TensorError::ShapeMismatch`] when the inner dimensions
     /// disagree.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        if self.shape().rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul",
-                expected: 2,
-                actual: self.shape().rank(),
-            });
-        }
-        if other.shape().rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul",
-                expected: 2,
-                actual: other.shape().rank(),
-            });
-        }
+        check_rank2("matmul", self)?;
+        check_rank2("matmul", other)?;
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         if k != k2 {
@@ -41,27 +41,93 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        // Shape-derived work accounting (once per call, independent of the
-        // parallel split): one multiply-add per (i, k, j) triple.
-        crate::instrument::record_kernel((2 * m * k * n) as u64, (m * n) as u64);
         let mut out = vec![0.0f32; m * n];
-        for_each_block(&mut out, n, k * n, |first_row, block| {
-            for (bi, o_row) in block.chunks_mut(n).enumerate() {
-                let i = first_row + bi;
-                let a_row = &a[i * k..(i + 1) * k];
-                for (kk, &a_ik) in a_row.iter().enumerate() {
-                    if a_ik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    for (o, &b_kj) in o_row.iter_mut().zip(b_row) {
-                        *o += a_ik * b_kj;
-                    }
-                }
-            }
-        });
+        gemm_into(
+            &mut out,
+            m,
+            k,
+            n,
+            self.as_slice(),
+            Layout::Normal,
+            other.as_slice(),
+            Layout::Normal,
+        );
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transposed-A matrix product: `selfᵀ × other` for `self` of shape
+    /// `[k, m]` and `other` of shape `[k, n]`, producing `[m, n]`.
+    ///
+    /// Bitwise identical to `self.transpose()?.matmul(other)` — the GEMM
+    /// packs `self` with swapped indices instead of materializing the
+    /// transposed copy, so backward passes (`dW = xᵀ·g`) stay off the
+    /// allocator. Work is recorded exactly as the two-step form did
+    /// (`transpose` records nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::ShapeMismatch`] when the shared `k` axes disagree.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        check_rank2("matmul_tn", self)?;
+        check_rank2("matmul_tn", other)?;
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm_into(
+            &mut out,
+            m,
+            k,
+            n,
+            self.as_slice(),
+            Layout::Transposed,
+            other.as_slice(),
+            Layout::Normal,
+        );
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transposed-B matrix product: `self × otherᵀ` for `self` of shape
+    /// `[m, k]` and `other` of shape `[n, k]`, producing `[m, n]`.
+    ///
+    /// Bitwise identical to `self.matmul(&other.transpose()?)` without
+    /// materializing the transposed copy; used by `grad_input = g·Wᵀ`
+    /// and the conv forward's `cols × Wᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::ShapeMismatch`] when the shared `k` axes disagree.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        check_rank2("matmul_nt", self)?;
+        check_rank2("matmul_nt", other)?;
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm_into(
+            &mut out,
+            m,
+            k,
+            n,
+            self.as_slice(),
+            Layout::Normal,
+            other.as_slice(),
+            Layout::Transposed,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 

@@ -15,6 +15,10 @@
 //! zero-valued left-operand entries inside its accumulation loop, so the
 //! zeroing path already omits exactly the terms packing removes, and the
 //! per-element accumulation order of the remaining terms is unchanged.
+//! The blocked kernel behind `matmul` (see [`crate::gemm`]) preserves
+//! that `a_ik == 0.0` skip and the strictly-ascending-`k` term order in
+//! every tile path — checked, unchecked, and packed-tail alike — which
+//! is why cache blocking did not disturb this equivalence.
 //!
 //! Index lists must be strictly increasing subsets of the packed axis
 //! (the layer code derives them from boolean masks, which guarantees

@@ -150,6 +150,49 @@ where
     });
 }
 
+/// Like [`for_each_block`], but rounds each worker's item share up to a
+/// multiple of `align`, so worker blocks start and end on tile
+/// boundaries (the blocked GEMM passes its microkernel height so no
+/// worker splits a register tile). Alignment only moves the partition
+/// points *between* workers; every element is still computed by exactly
+/// one thread in serial order, so results remain bitwise identical at
+/// any width. The final block absorbs the remainder.
+pub fn for_each_block_aligned<T, F>(
+    data: &mut [T],
+    item_len: usize,
+    item_work: usize,
+    align: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if item_len == 0 || data.is_empty() {
+        return;
+    }
+    debug_assert_eq!(data.len() % item_len, 0, "data must be whole items");
+    let items = data.len() / item_len;
+    let threads = plan_threads(items, item_work);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let per_thread = items.div_ceil(threads).next_multiple_of(align.max(1));
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut first_item = 0usize;
+        while !rest.is_empty() {
+            let take_items = per_thread.min(rest.len() / item_len);
+            let (chunk, tail) = rest.split_at_mut(take_items * item_len);
+            rest = tail;
+            let start = first_item;
+            scope.spawn(move || f(start, chunk));
+            first_item += take_items;
+        }
+    });
+}
+
 /// Like [`for_each_block`], but partitions two output buffers in
 /// lockstep (e.g. max-pool values and argmax indices): item `i` spans
 /// `a[i*a_len..]` and `b[i*b_len..]`, and both chunks for a block go to

@@ -1,0 +1,226 @@
+//! Reusable per-thread scratch buffers for kernel workspaces.
+//!
+//! The blocked GEMM ([`crate::gemm`]) packs operand panels, and the
+//! im2col convolution unrolls patch matrices, into large temporary
+//! buffers. Allocating those with `vec![0.0; len]` on every forward and
+//! backward of every training cycle puts an allocator round-trip (and a
+//! page-fault warmup for multi-megabyte `cols` matrices) on the hottest
+//! path in the workspace. This module keeps a small per-thread pool of
+//! `Vec<f32>` buffers that kernels check out with [`with_scratch`] and
+//! return on exit, so steady-state training reuses the same allocations
+//! cycle after cycle.
+//!
+//! Design notes:
+//!
+//! - **Zero-filled handout.** A [`with_scratch`] checkout arrives as an
+//!   all-zeros slice of exactly the requested length. im2col relies on
+//!   this (the padding positions of the patch matrix are never written).
+//!   The `memset` is a single linear pass — negligible next to the
+//!   `O(m·k·n)` work it fronts, and far cheaper than a fresh allocation.
+//!   Callers that overwrite every slot anyway (GEMM panel packing) use
+//!   [`with_scratch_dirty`] and skip even that pass.
+//! - **Reentrancy.** Checkouts nest: `conv2d` holds its `cols` buffer
+//!   while the GEMM inside it checks out pack panels. The pool is only
+//!   borrowed for the instant of checkout/checkin, never across the
+//!   closure, so nesting cannot double-borrow.
+//! - **Thread locality.** The pool is `thread_local!`, so FL client
+//!   workers and kernel worker threads never contend on a lock and never
+//!   share buffers. Scoped kernel workers are short-lived and drop their
+//!   pools on exit; the long-lived paths (serial training, each client
+//!   worker's whole local round) are exactly the ones where reuse pays.
+//! - **Bounded.** At most [`MAX_POOLED`] buffers are retained per
+//!   thread; beyond that the smallest is dropped, so a burst of odd
+//!   shapes cannot pin unbounded memory.
+//!
+//! [`workspace_stats`] exposes per-thread checkout/realloc counters so
+//! tests can assert the steady-state path stops allocating.
+
+use std::cell::RefCell;
+
+/// Maximum number of idle buffers retained per thread.
+const MAX_POOLED: usize = 8;
+
+#[derive(Default)]
+struct Pool {
+    free: Vec<Vec<f32>>,
+    acquires: u64,
+    reallocs: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Per-thread workspace counters, for observability and tests.
+///
+/// `acquires` counts every scratch checkout on the calling thread;
+/// `reallocs` counts the checkouts that had to allocate or grow a
+/// buffer. A steady-state training loop should show `acquires`
+/// increasing while `reallocs` stays flat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceStats {
+    /// Total scratch-buffer checkouts on this thread.
+    pub acquires: u64,
+    /// Checkouts that had to allocate or grow (pool miss).
+    pub reallocs: u64,
+}
+
+/// Returns the calling thread's workspace counters.
+pub fn workspace_stats() -> WorkspaceStats {
+    POOL.with(|cell| {
+        let pool = cell.borrow();
+        WorkspaceStats {
+            acquires: pool.acquires,
+            reallocs: pool.reallocs,
+        }
+    })
+}
+
+/// Resets the calling thread's workspace counters to zero.
+///
+/// The buffer pool itself is left intact — only the statistics reset,
+/// so a test can measure the marginal allocations of a warm region.
+pub fn reset_workspace_stats() {
+    POOL.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        pool.acquires = 0;
+        pool.reallocs = 0;
+    });
+}
+
+/// Runs `f` with a zero-filled scratch slice of `len` floats checked out
+/// from the calling thread's buffer pool.
+///
+/// The buffer returns to the pool when `f` exits (also on panic-free
+/// early returns; a panic simply drops it, which is safe). Checkouts
+/// nest freely — each nested call pops its own buffer.
+pub(crate) fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    checkout(len, true, f)
+}
+
+/// Like [`with_scratch`], but skips the zero-fill: the slice arrives
+/// with arbitrary *stale float values* from earlier checkouts. Only for
+/// callers that overwrite every slot before reading (e.g. GEMM operand
+/// packing); anything with read-before-write or keep-if-zero semantics
+/// must use [`with_scratch`].
+pub(crate) fn with_scratch_dirty<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    checkout(len, false, f)
+}
+
+fn checkout<R>(len: usize, zeroed: bool, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = POOL.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        pool.acquires += 1;
+        // Best fit: the smallest pooled buffer that already covers `len`
+        // (otherwise any buffer — it will grow below).
+        let mut pick: Option<usize> = None;
+        let mut pick_cap = usize::MAX;
+        for (i, b) in pool.free.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= len && cap < pick_cap {
+                pick = Some(i);
+                pick_cap = cap;
+            }
+        }
+        let buf = match pick {
+            Some(i) => pool.free.swap_remove(i),
+            None => pool.free.pop().unwrap_or_default(),
+        };
+        if buf.capacity() < len {
+            pool.reallocs += 1;
+        }
+        buf
+    });
+    if zeroed {
+        // Zero-fill handout: clear + resize touches exactly `len`
+        // elements.
+        buf.clear();
+        buf.resize(len, 0.0);
+    } else {
+        // Dirty handout: only grow if needed; existing content stays.
+        buf.resize(len.max(buf.len()), 0.0);
+        buf.truncate(len);
+    }
+    let out = f(&mut buf);
+    POOL.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        pool.free.push(buf);
+        if pool.free.len() > MAX_POOLED {
+            // Evict the smallest buffer: the large ones are the expensive
+            // ones to re-create.
+            let mut drop_i = 0;
+            let mut drop_cap = usize::MAX;
+            for (i, b) in pool.free.iter().enumerate() {
+                if b.capacity() < drop_cap {
+                    drop_i = i;
+                    drop_cap = b.capacity();
+                }
+            }
+            pool.free.swap_remove(drop_i);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_arrives_zeroed_and_correctly_sized() {
+        with_scratch(16, |s| {
+            assert_eq!(s.len(), 16);
+            assert!(s.iter().all(|&v| v == 0.0));
+            s.fill(7.0);
+        });
+        // The dirty buffer is re-zeroed on the next checkout.
+        with_scratch(16, |s| {
+            assert!(s.iter().all(|&v| v == 0.0));
+        });
+    }
+
+    #[test]
+    fn warm_pool_stops_reallocating() {
+        with_scratch(1024, |_| ());
+        reset_workspace_stats();
+        for _ in 0..10 {
+            with_scratch(1024, |_| ());
+            with_scratch(256, |_| ());
+        }
+        let stats = workspace_stats();
+        assert_eq!(stats.acquires, 20);
+        // The 1024-buffer is reused every round; only the first 256
+        // checkout may need a fresh buffer (best-fit may satisfy it from
+        // a larger pooled one, in which case even that is free).
+        assert!(stats.reallocs <= 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn nested_checkouts_get_distinct_buffers() {
+        with_scratch(8, |outer| {
+            outer.fill(1.0);
+            with_scratch(8, |inner| {
+                assert!(inner.iter().all(|&v| v == 0.0));
+                inner.fill(2.0);
+            });
+            assert!(outer.iter().all(|&v| v == 1.0));
+        });
+    }
+
+    #[test]
+    fn zero_length_checkout_is_fine() {
+        with_scratch(0, |s| assert!(s.is_empty()));
+    }
+
+    #[test]
+    fn dirty_checkout_skips_the_zero_fill() {
+        with_scratch(32, |s| s.fill(5.0));
+        with_scratch_dirty(16, |s| {
+            assert_eq!(s.len(), 16);
+            // Stale content from the previous checkout is visible.
+            assert!(s.iter().all(|&v| v == 5.0));
+        });
+        // Growing a dirty checkout still yields the right length.
+        with_scratch_dirty(64, |s| assert_eq!(s.len(), 64));
+    }
+}

@@ -10,13 +10,13 @@ use helios_core::{HeliosConfig, HeliosStrategy};
 use helios_data::{partition, Dataset, ShardSynthesizer, SyntheticVision};
 use helios_device::{presets, ProfileSynthesizer};
 use helios_fl::{
-    AvailabilityModel, FlConfig, FlEnv, FleetSpec, SamplerConfig, Strategy, SyncFedAvg,
+    AvailabilityModel, FlConfig, FlEnv, FleetSpec, NetConfig, SamplerConfig, Strategy, SyncFedAvg,
 };
 use helios_nn::models::ModelKind;
 use helios_obs::TraceEvent;
 use helios_scenario::{
-    ChurnAction, ChurnEvent, DiurnalWave, DriftEvent, DriftKind, EventKind, ScenarioConfig,
-    ThrottleRule,
+    ChurnAction, ChurnEvent, DiurnalWave, DriftEvent, DriftKind, EventKind, OutageWindow,
+    ScenarioConfig, ThrottleRule,
 };
 use helios_tensor::{ParallelismConfig, TensorRng};
 use proptest::prelude::*;
@@ -85,6 +85,127 @@ fn eager_env(seed: u64, threads: usize, scenario: ScenarioConfig) -> FlEnv {
         },
     )
     .expect("eager env")
+}
+
+/// A two-device eager environment routed through the simulated
+/// transport (ideal links, a generous per-round deadline).
+fn netted_env(seed: u64, threads: usize, scenario: ScenarioConfig) -> FlEnv {
+    let clients = 2;
+    let mut rng = TensorRng::seed_from(seed);
+    let (train, test) = SyntheticVision::mnist_like()
+        .generate(30 * clients, 30, &mut rng)
+        .expect("dataset");
+    let shards: Vec<Dataset> = partition::iid(train.len(), clients, &mut rng)
+        .into_iter()
+        .map(|idx| train.subset(&idx).expect("subset"))
+        .collect();
+    FlEnv::new(
+        ModelKind::LeNet,
+        presets::mixed_fleet(1, 1),
+        shards,
+        test,
+        FlConfig {
+            seed,
+            scenario,
+            parallelism: ParallelismConfig::with_threads(threads),
+            net: NetConfig {
+                enabled: true,
+                // Generous against any compute span, hopeless against
+                // an outage's microbit-per-second trickle link.
+                round_timeout_s: Some(1e9),
+                ..NetConfig::default()
+            },
+            ..FlConfig::default()
+        },
+    )
+    .expect("netted env")
+}
+
+/// A scheduled link outage blacks out the targeted device for exactly
+/// the half-open window — it misses those cycles at the round deadline,
+/// emits an `outage` trace event per blacked-out cycle, and gets its
+/// configured link back the first cycle after the window closes. The
+/// whole run replays byte-identically at every thread width.
+#[test]
+fn link_outage_window_blacks_out_device_then_restores() {
+    let _serial = OBS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let scenario = ScenarioConfig {
+        outages: vec![OutageWindow {
+            from_cycle: 1,
+            until_cycle: 3,
+            device: Some(1),
+        }],
+        ..ScenarioConfig::default()
+    };
+    let run = |threads: usize| -> (Vec<u8>, Vec<u64>, Option<f64>) {
+        use std::io::Write;
+        use std::sync::Arc;
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf::default();
+        let handle =
+            helios_obs::install(Box::new(helios_obs::JsonlSink::new(Box::new(buf.clone()))));
+        let mut env = netted_env(41, threads, scenario.clone());
+        SyncFedAvg::new().run(&mut env, 5).expect("outage run");
+        drop(handle);
+        let transport = env.transport().expect("transport");
+        let missed = (0..2).map(|d| transport.device_stats(d).missed_cycles);
+        let restored = transport.link(1).expect("link 1").bandwidth_bps;
+        let mut captured = buf.0.lock().unwrap_or_else(PoisonError::into_inner);
+        (std::mem::take(&mut *captured), missed.collect(), restored)
+    };
+    let (reference, missed, restored) = run(1);
+    assert_eq!(
+        missed,
+        vec![0, 2],
+        "device 1 misses exactly the two windowed cycles, device 0 none"
+    );
+    assert_eq!(
+        restored, None,
+        "after the window the device is back on its configured (ideal) link"
+    );
+    // The trace carries one targeted `outage` event per blacked-out
+    // cycle — at cycles 1 and 2 and nowhere else.
+    let text = String::from_utf8(reference.clone()).expect("utf8");
+    let outage_cycles: Vec<u64> = helios_obs::parse_jsonl(&text)
+        .expect("trace parses")
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::ScenarioEvent {
+                cycle,
+                kind,
+                device,
+                value,
+            } if kind == "outage" => {
+                assert_eq!(*device, Some(1), "the window targets device 1");
+                assert_eq!(*value, 0.0);
+                Some(*cycle)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(outage_cycles, vec![1, 2], "one event per windowed cycle");
+    for threads in &WIDTHS[1..] {
+        let (bytes, m, r) = run(*threads);
+        assert_eq!(m, missed);
+        assert_eq!(r, restored);
+        assert_eq!(
+            bytes, reference,
+            "outage run must replay byte-identically at {threads} threads"
+        );
+    }
 }
 
 fn churn_scenario() -> ScenarioConfig {
