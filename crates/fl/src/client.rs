@@ -4,7 +4,7 @@
 use crate::Result;
 use helios_data::Dataset;
 use helios_device::{CostModel, ResourceProfile, SimTime, TrainingWorkload};
-use helios_net::WireSize;
+use helios_net::{CompressionConfig, WireSize};
 use helios_nn::{CrossEntropyLoss, ModelMask, Network, NetworkCost, Sgd};
 use helios_scenario::DriftKind;
 use helios_tensor::TensorRng;
@@ -210,6 +210,21 @@ impl Client {
             Some(_) => WireSize::masked(n, self.active_param_count()),
             None => WireSize::full(n),
         }
+    }
+
+    /// Wire size of this client's next upload under a wire-v2
+    /// [`CompressionConfig`]: the planning estimate the server uses for
+    /// straggler identification and deadline fitting. With compression
+    /// off this is exactly [`Client::upload_wire_size`]; the v2 modes
+    /// shrink it further (worst-case estimates for the data-dependent
+    /// delta/top-k layouts — see `CompressionConfig::upload_wire_size`).
+    pub fn upload_wire_size_with(&self, compression: &CompressionConfig) -> WireSize {
+        let n = self.net.param_len();
+        let active = self
+            .current_mask
+            .as_ref()
+            .map(|_| self.active_param_count());
+        compression.upload_wire_size(n, active)
     }
 
     /// Fraction of maskable neurons active under the current mask.

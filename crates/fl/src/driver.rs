@@ -321,7 +321,7 @@ impl RoundDriver {
             // size (uploads + full-model downloads) even when networking
             // is disabled; the wire/retry counters come from the
             // transport's monotone statistics.
-            let comm_bytes = crate::cycle_comm_bytes(&updates);
+            let comm_bytes = crate::cycle_comm_bytes_with(&updates, &env.config().net.compression);
             let net_before = env.transport().map(|t| *t.stats());
             let t = Instant::now();
             let routed = {

@@ -1153,7 +1153,8 @@ impl FlEnv {
         };
         let link = t.link(i)?;
         let down = link.expected_transfer(codec::WireSize::full(self.global.len()).total_bytes());
-        let up = link.expected_transfer(client.upload_wire_size().total_bytes());
+        let up_size = client.upload_wire_size_with(&self.config.net.compression);
+        let up = link.expected_transfer(up_size.total_bytes());
         Ok(down + up)
     }
 
@@ -1171,7 +1172,9 @@ impl FlEnv {
     /// Routes one synchronous cycle's exchange through the simulated
     /// transport: the global broadcast goes down every participant's
     /// link, each update comes back up as a wire frame (masked layout
-    /// for soft-trained clients), and the round's simulated span is
+    /// for soft-trained clients, or the wire-v2 layout selected by
+    /// `net.compression` — delta/top-k/quantized frames encoded against
+    /// the broadcast global), and the round's simulated span is
     /// `max(compute + comm)` over participants.
     ///
     /// With networking disabled this is a transparent passthrough whose
@@ -1215,14 +1218,18 @@ impl FlEnv {
                 missed: Vec::new(),
             });
         };
+        // Broadcasts are always v1 full frames: the broadcast *is* the
+        // shared base every v2 upload decodes against (DESIGN.md §4k).
         let broadcast = codec::encode_full(codec::SERVER_SENDER, cycle as u32, &self.global)?;
+        let compression = self.config.net.compression;
         let mut jobs = Vec::with_capacity(updates.len());
         for (u, &compute) in updates.iter().zip(compute_times) {
-            let frame = codec::encode_update(
+            let frame = compression.encode_update(
                 u.client as u32,
                 cycle as u32,
                 &u.params,
                 u.param_mask.as_deref(),
+                &self.global,
             )?;
             jobs.push(RoundJob {
                 device: u.client,
@@ -1522,6 +1529,99 @@ mod tests {
         let stats = routed_env.transport().unwrap().stats();
         assert!(stats.bytes_on_wire > 0);
         assert_eq!(stats.retries, 0);
+    }
+
+    fn net_with_mode(mode: helios_net::CompressionMode, topk_ratio: f64) -> NetConfig {
+        NetConfig {
+            enabled: true,
+            compression: helios_net::CompressionConfig { mode, topk_ratio },
+            ..NetConfig::default()
+        }
+    }
+
+    /// Delta and full-ratio top-k frames reconstruct every update
+    /// bit-for-bit, so routing through them is as transparent as v1.
+    #[test]
+    fn lossless_v2_compression_is_bitwise_transparent() {
+        use helios_net::CompressionMode;
+        for mode in [CompressionMode::Delta, CompressionMode::TopK] {
+            let mut direct = small_env(8);
+            let mut routed_env = small_env_with(8, net_with_mode(mode, 1.0));
+            direct.broadcast_global(0).unwrap();
+            routed_env.broadcast_global(0).unwrap();
+            let du = direct.train_all().unwrap();
+            let ru = routed_env.train_all().unwrap();
+            let times: Vec<SimTime> = direct.clients().map(Client::cycle_time).collect();
+            let d = direct.route_updates(0, du, &times).unwrap();
+            let r = routed_env.route_updates(0, ru, &times).unwrap();
+            assert!(r.missed.is_empty());
+            for (a, b) in d.updates.iter().zip(&r.updates) {
+                let ab: Vec<u32> = a.params.iter().map(|p| p.to_bits()).collect();
+                let bb: Vec<u32> = b.params.iter().map(|p| p.to_bits()).collect();
+                assert_eq!(ab, bb, "{mode:?} roundtrip must be bit-exact");
+            }
+            let up = routed_env.transport().unwrap().stats().bytes_on_wire;
+            let v1 = d
+                .updates
+                .iter()
+                .map(|u| codec::WireSize::full(u.params.len()).total_bytes())
+                .sum::<usize>();
+            assert!(up > 0 && v1 > 0);
+        }
+    }
+
+    /// Quantized modes deliver approximate updates: close to the direct
+    /// values, never missing, and cheaper on the wire than v1 full frames.
+    #[test]
+    fn quantized_v2_compression_stays_within_bounds() {
+        use helios_net::CompressionMode;
+        for (mode, tol) in [
+            (CompressionMode::QuantF16, 1e-2f32),
+            (CompressionMode::QuantInt8, 5e-2f32),
+        ] {
+            let mut direct = small_env(8);
+            let mut routed_env = small_env_with(8, net_with_mode(mode, 0.1));
+            direct.broadcast_global(0).unwrap();
+            routed_env.broadcast_global(0).unwrap();
+            let du = direct.train_all().unwrap();
+            let ru = routed_env.train_all().unwrap();
+            let times: Vec<SimTime> = direct.clients().map(Client::cycle_time).collect();
+            let d = direct.route_updates(0, du, &times).unwrap();
+            let r = routed_env.route_updates(0, ru, &times).unwrap();
+            assert!(r.missed.is_empty());
+            for (a, b) in d.updates.iter().zip(&r.updates) {
+                for (x, y) in a.params.iter().zip(&b.params) {
+                    assert!((x - y).abs() <= tol, "{mode:?}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    /// The analytic comm estimate follows the configured mode.
+    #[test]
+    fn comm_overhead_reflects_compression_mode() {
+        use helios_net::CompressionMode;
+        let slow = NetConfig {
+            link: crate::LinkProfile::constrained(1e6, 0.0),
+            ..net_with_mode(CompressionMode::None, 0.1)
+        };
+        let env_v1 = small_env_with(4, slow);
+        let env_i8 = small_env_with(
+            4,
+            NetConfig {
+                compression: helios_net::CompressionConfig {
+                    mode: CompressionMode::QuantInt8,
+                    topk_ratio: 0.1,
+                },
+                ..slow
+            },
+        );
+        let t_v1 = env_v1.comm_overhead(0).unwrap();
+        let t_i8 = env_i8.comm_overhead(0).unwrap();
+        assert!(
+            t_i8 < t_v1,
+            "int8 uploads must plan cheaper than v1 ({t_i8:?} vs {t_v1:?})"
+        );
     }
 
     fn lazy_spec(population: usize, seed: u64) -> FleetSpec {

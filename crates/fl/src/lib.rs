@@ -89,14 +89,18 @@ pub use fleet::{AvailabilityModel, FleetSpec};
 pub use metrics::{PhaseBreakdown, RoundRecord, RunMetrics, RunProfile};
 pub use random_partial::{random_mask, RandomPartial};
 pub use sampler::{ClientSampler, SamplerConfig, SamplingStrategy};
-pub use server::{aggregate, cycle_comm_bytes, MaskedUpdate, OnlineAggregator};
+pub use server::{
+    aggregate, cycle_comm_bytes, cycle_comm_bytes_with, MaskedUpdate, OnlineAggregator,
+};
 pub use strategy::Strategy;
 pub use sync::SyncFedAvg;
 
 #[doc(no_inline)]
 pub use helios_device::ResourceProfile;
 #[doc(no_inline)]
-pub use helios_net::{FaultConfig, LinkProfile, NetConfig, WireSize};
+pub use helios_net::{
+    CompressionConfig, CompressionMode, FaultConfig, LinkProfile, NetConfig, WireSize,
+};
 #[doc(no_inline)]
 pub use helios_scenario::{
     ChurnAction, ChurnEvent, DiurnalWave, DriftEvent, DriftKind, ScenarioConfig, ThrottleRule,

@@ -20,6 +20,36 @@ pub fn cycle_comm_bytes(updates: &[LocalUpdate]) -> f64 {
         .sum()
 }
 
+/// [`cycle_comm_bytes`] under a wire-v2
+/// [`CompressionConfig`](helios_net::CompressionConfig): uploads
+/// use the configured mode's planning estimate (full-frame payload bytes,
+/// not wire framing — same accounting basis as the v1 function), while
+/// downloads stay 4 bytes per parameter because broadcasts are never
+/// compressed. With `CompressionMode::None` this reproduces
+/// [`cycle_comm_bytes`] exactly.
+pub fn cycle_comm_bytes_with(
+    updates: &[LocalUpdate],
+    compression: &helios_net::CompressionConfig,
+) -> f64 {
+    use helios_net::CompressionMode;
+    if compression.mode == CompressionMode::None {
+        return cycle_comm_bytes(updates);
+    }
+    updates
+        .iter()
+        .map(|u| {
+            let n = u.params.len();
+            let active = u
+                .param_mask
+                .as_ref()
+                .map(|m| m.iter().filter(|&&b| b).count());
+            let size = compression.upload_wire_size(n, active);
+            let up = size.mask_bytes + size.index_bytes + size.scale_bytes + size.payload_bytes;
+            (up + n * 4) as f64
+        })
+        .sum()
+}
+
 /// One client contribution to an aggregation step.
 #[derive(Debug, Clone)]
 pub struct MaskedUpdate<'a> {
@@ -210,6 +240,31 @@ mod tests {
         // Sums over participants.
         assert_eq!(cycle_comm_bytes(&[full, half]), 140.0);
         assert_eq!(cycle_comm_bytes(&[]), 0.0);
+    }
+
+    #[test]
+    fn comm_bytes_with_compression_matches_v1_when_off() {
+        use helios_net::{CompressionConfig, CompressionMode};
+        let updates = [
+            update(vec![0.0; 10], None),
+            update(vec![0.0; 10], Some((0..10).map(|i| i % 2 == 0).collect())),
+        ];
+        let off = CompressionConfig::default();
+        assert_eq!(
+            cycle_comm_bytes_with(&updates, &off),
+            cycle_comm_bytes(&updates)
+        );
+        // Quantized uploads bill fewer bytes than v1; downloads (4 B per
+        // param per participant) are unchanged.
+        for mode in [CompressionMode::QuantF16, CompressionMode::QuantInt8] {
+            let cfg = CompressionConfig {
+                mode,
+                ..CompressionConfig::default()
+            };
+            let with = cycle_comm_bytes_with(&updates, &cfg);
+            assert!(with < cycle_comm_bytes(&updates), "{mode:?}: {with}");
+            assert!(with > 80.0, "downloads still billed");
+        }
     }
 
     #[test]

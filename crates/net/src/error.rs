@@ -55,6 +55,18 @@ pub enum NetError {
         /// Parameter count the frame declares.
         actual: usize,
     },
+    /// A top-k frame's index block is out of range or not strictly
+    /// ascending.
+    BadIndexBlock {
+        /// Description of the violation.
+        what: String,
+    },
+    /// A quantized frame's per-tensor scale is not a finite non-negative
+    /// number.
+    BadScale {
+        /// Bit pattern of the offending `f32` scale.
+        scale_bits: u32,
+    },
     /// A parameter vector exceeds the wire format's `u32` length field.
     TooManyParams(usize),
     /// A device index is out of range for the transport.
@@ -98,6 +110,16 @@ impl fmt::Display for NetError {
                 write!(
                     f,
                     "frame holds {actual} parameters, receiver expects {expected}"
+                )
+            }
+            NetError::BadIndexBlock { what } => {
+                write!(f, "malformed top-k index block: {what}")
+            }
+            NetError::BadScale { scale_bits } => {
+                write!(
+                    f,
+                    "quantization scale {} (bits {scale_bits:#010x}) is not finite and non-negative",
+                    f32::from_bits(*scale_bits)
                 )
             }
             NetError::TooManyParams(n) => {

@@ -9,7 +9,11 @@
 //! - [`codec`] — a compact binary wire format for model exchanges
 //!   (little-endian `f32` payload, shape header, CRC32 trailer),
 //!   roundtrip-exact for every bit pattern, with a [`WireSize`] report
-//!   showing that a straggler's masked upload is genuinely smaller;
+//!   showing that a straggler's masked upload is genuinely smaller.
+//!   Wire v2 adds negotiated upload compression behind the frame-version
+//!   byte ([`CompressionMode`]): lossless delta frames, top-k
+//!   sparsification, and f16/int8 quantized deltas with deterministic
+//!   dequantization — configured through [`CompressionConfig`];
 //! - [`LinkProfile`] / [`FaultConfig`] / [`NetConfig`] — `Copy`,
 //!   serde-defaulted knobs describing per-device bandwidth/latency/
 //!   jitter and injected faults (drop, corrupt-detected-by-CRC, delay);
@@ -57,9 +61,9 @@ mod link;
 mod round;
 pub mod transport;
 
-pub use codec::{Frame, Payload, WireSize};
+pub use codec::{CompressionMode, Frame, Payload, WireSize};
 pub use error::NetError;
-pub use link::{FaultConfig, LinkProfile, NetConfig};
+pub use link::{CompressionConfig, FaultConfig, LinkProfile, NetConfig};
 pub use round::{simulate_round, RoundJob, RoundOutcome};
 pub use transport::{DeviceStats, SimTransport, TransportStats};
 

@@ -6,9 +6,116 @@
 //! configs (a missing `net` section deserializes to the disabled
 //! default).
 
+use crate::codec::{self, CompressionMode, WireSize};
 use crate::error::NetError;
 use helios_device::SimTime;
 use serde::{Deserialize, Serialize};
+
+fn default_topk_ratio() -> f64 {
+    0.1
+}
+
+/// Upload-compression section of a [`NetConfig`]: which wire-v2 frame
+/// layout (if any) clients use for their update uploads, and the top-k
+/// keep fraction.
+///
+/// Every field has a `serde` default and the default mode is
+/// [`CompressionMode::None`], so configurations written before wire v2
+/// keep loading — and running — bit-for-bit unchanged. Broadcasts are
+/// *never* compressed: the broadcast **is** the shared base every v2
+/// mode encodes against, so it must arrive bit-exact (see the
+/// negotiation rule in DESIGN.md §4k).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionConfig {
+    /// Upload frame layout; `None` keeps v1 full/masked frames.
+    #[serde(default)]
+    pub mode: CompressionMode,
+    /// Fraction of parameters the `TopK` mode keeps (rounded up to at
+    /// least one entry), in `(0, 1]`. Ignored by the other modes.
+    #[serde(default = "default_topk_ratio")]
+    pub topk_ratio: f64,
+}
+
+impl Default for CompressionConfig {
+    fn default() -> Self {
+        CompressionConfig {
+            mode: CompressionMode::None,
+            topk_ratio: default_topk_ratio(),
+        }
+    }
+}
+
+impl CompressionConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] for a top-k ratio outside
+    /// `(0, 1]`.
+    pub fn validate(&self) -> Result<(), NetError> {
+        if !(self.topk_ratio.is_finite() && self.topk_ratio > 0.0 && self.topk_ratio <= 1.0) {
+            return Err(NetError::InvalidConfig {
+                what: format!("topk_ratio {} outside (0, 1]", self.topk_ratio),
+            });
+        }
+        Ok(())
+    }
+
+    /// Entries the `TopK` mode keeps for a model of `params` parameters:
+    /// `⌈ratio · params⌉`, at least 1 (0 only for an empty model).
+    pub fn topk_count(&self, params: usize) -> usize {
+        if params == 0 {
+            return 0;
+        }
+        ((self.topk_ratio * params as f64).ceil() as usize).clamp(1, params)
+    }
+
+    /// Encodes one update upload under the configured mode, against the
+    /// broadcast `base` the receiver holds. With mode `None` this is
+    /// exactly the v1 [`codec::encode_update`] path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying encoder's [`NetError`] conditions.
+    pub fn encode_update(
+        &self,
+        sender: u32,
+        cycle: u32,
+        params: &[f32],
+        mask: Option<&[bool]>,
+        base: &[f32],
+    ) -> Result<Vec<u8>, NetError> {
+        match self.mode {
+            CompressionMode::None => codec::encode_update(sender, cycle, params, mask),
+            CompressionMode::Delta => codec::encode_delta(sender, cycle, params, base),
+            CompressionMode::TopK => {
+                codec::encode_topk(sender, cycle, params, base, self.topk_count(params.len()))
+            }
+            CompressionMode::QuantF16 => codec::encode_quant_f16(sender, cycle, params, mask, base),
+            CompressionMode::QuantInt8 => codec::encode_quant_i8(sender, cycle, params, mask, base),
+        }
+    }
+
+    /// Deterministic upload-size estimate for a model of `params`
+    /// parameters with `active` of them trained (`None` = no mask). This
+    /// is the planning-side counterpart of [`Self::encode_update`], used
+    /// for deadline fitting and analytic comm accounting; `Delta` and
+    /// `TopK` sizes depend on how many entries actually changed, so the
+    /// estimate uses the worst case (every active entry changed).
+    pub fn upload_wire_size(&self, params: usize, active: Option<usize>) -> WireSize {
+        let act = active.unwrap_or(params);
+        match self.mode {
+            CompressionMode::None => match active {
+                Some(a) => WireSize::masked(params, a),
+                None => WireSize::full(params),
+            },
+            CompressionMode::Delta => WireSize::delta(params, act),
+            CompressionMode::TopK => WireSize::topk(self.topk_count(params).min(act)),
+            CompressionMode::QuantF16 => WireSize::quant_f16(params, act),
+            CompressionMode::QuantInt8 => WireSize::quant_i8(params, act),
+        }
+    }
+}
 
 /// Bandwidth/latency/jitter description of one device's uplink and
 /// downlink (links are modeled symmetric).
@@ -196,6 +303,9 @@ pub struct NetConfig {
     /// completes later misses the cycle (`None` = wait forever).
     #[serde(default)]
     pub round_timeout_s: Option<f64>,
+    /// Wire-v2 upload compression (default: off, v1 frames).
+    #[serde(default)]
+    pub compression: CompressionConfig,
 }
 
 impl Default for NetConfig {
@@ -207,6 +317,7 @@ impl Default for NetConfig {
             max_retries: default_max_retries(),
             retry_backoff_s: default_retry_backoff_s(),
             round_timeout_s: None,
+            compression: CompressionConfig::default(),
         }
     }
 }
@@ -221,6 +332,7 @@ impl NetConfig {
     pub fn validate(&self) -> Result<(), NetError> {
         self.link.validate()?;
         self.faults.validate()?;
+        self.compression.validate()?;
         if !(self.retry_backoff_s.is_finite() && self.retry_backoff_s >= 0.0) {
             return Err(NetError::InvalidConfig {
                 what: format!(
@@ -306,5 +418,139 @@ mod tests {
         assert!(v.link.bandwidth_bps.is_none());
         assert_eq!(v.max_retries, 3);
         assert_eq!(v.retry_backoff_s, 0.05);
+        // Pre-v2 configs carry no `compression` section → v1 behavior.
+        assert_eq!(v.compression.mode, CompressionMode::None);
+        assert_eq!(v.compression.topk_ratio, 0.1);
+    }
+
+    #[test]
+    fn compression_config_parses_from_partial_json() {
+        let v: CompressionConfig = serde_json::from_str(r#"{"mode": "TopK"}"#).unwrap();
+        assert_eq!(v.mode, CompressionMode::TopK);
+        assert_eq!(v.topk_ratio, 0.1);
+        let v: CompressionConfig =
+            serde_json::from_str(r#"{"mode": "QuantInt8", "topk_ratio": 0.25}"#).unwrap();
+        assert_eq!(v.mode, CompressionMode::QuantInt8);
+        assert_eq!(v.topk_ratio, 0.25);
+    }
+
+    #[test]
+    fn compression_validation_rejects_bad_ratio() {
+        for ratio in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let cfg = CompressionConfig {
+                mode: CompressionMode::TopK,
+                topk_ratio: ratio,
+            };
+            assert!(cfg.validate().is_err(), "ratio {ratio} accepted");
+        }
+        CompressionConfig {
+            mode: CompressionMode::TopK,
+            topk_ratio: 1.0,
+        }
+        .validate()
+        .unwrap();
+        // NetConfig::validate covers the nested section.
+        let cfg = NetConfig {
+            compression: CompressionConfig {
+                mode: CompressionMode::TopK,
+                topk_ratio: 0.0,
+            },
+            ..NetConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn topk_count_rounds_up_and_clamps() {
+        let cfg = CompressionConfig {
+            mode: CompressionMode::TopK,
+            topk_ratio: 0.1,
+        };
+        assert_eq!(cfg.topk_count(0), 0);
+        assert_eq!(cfg.topk_count(1), 1);
+        assert_eq!(cfg.topk_count(10), 1);
+        assert_eq!(cfg.topk_count(15), 2);
+        let full = CompressionConfig {
+            mode: CompressionMode::TopK,
+            topk_ratio: 1.0,
+        };
+        assert_eq!(full.topk_count(10), 10);
+    }
+
+    #[test]
+    fn encode_update_dispatches_on_mode() {
+        use crate::codec::{decode, frame_mode, Payload};
+        let base = vec![1.0, 2.0, 3.0];
+        let update = vec![1.5, 2.0, 3.5];
+        let cases = [
+            (CompressionMode::None, None),
+            (CompressionMode::Delta, Some("delta")),
+            (CompressionMode::TopK, Some("topk")),
+            (CompressionMode::QuantF16, Some("qf16")),
+            (CompressionMode::QuantInt8, Some("qi8")),
+        ];
+        for (mode, expect) in cases {
+            let cfg = CompressionConfig {
+                mode,
+                ..CompressionConfig::default()
+            };
+            let frame = cfg.encode_update(4, 2, &update, None, &base).unwrap();
+            assert_eq!(frame_mode(&frame), expect, "mode {mode:?}");
+            let decoded = decode(&frame).unwrap();
+            assert_eq!(decoded.sender, 4);
+            assert_eq!(decoded.cycle, 2);
+        }
+        // Mode None respects the v1 full/masked split.
+        let cfg = CompressionConfig::default();
+        let masked = cfg
+            .encode_update(0, 0, &update, Some(&[true, false, true]), &base)
+            .unwrap();
+        assert!(matches!(
+            decode(&masked).unwrap().payload,
+            Payload::Masked { .. }
+        ));
+    }
+
+    #[test]
+    fn upload_wire_size_estimates_per_mode() {
+        use crate::codec::WireSize;
+        let mk = |mode| CompressionConfig {
+            mode,
+            topk_ratio: 0.1,
+        };
+        let n = 1000;
+        let act = 300;
+        // v1 estimates are unchanged.
+        assert_eq!(
+            mk(CompressionMode::None).upload_wire_size(n, Some(act)),
+            WireSize::masked(n, act)
+        );
+        assert_eq!(
+            mk(CompressionMode::None).upload_wire_size(n, None),
+            WireSize::full(n)
+        );
+        // Delta plans the masked shape (worst case: all active changed).
+        assert_eq!(
+            mk(CompressionMode::Delta).upload_wire_size(n, Some(act)),
+            WireSize::delta(n, act)
+        );
+        // Top-k keeps ratio·n entries, capped by the active count.
+        assert_eq!(
+            mk(CompressionMode::TopK).upload_wire_size(n, Some(act)),
+            WireSize::topk(100)
+        );
+        assert_eq!(
+            mk(CompressionMode::TopK).upload_wire_size(n, Some(50)),
+            WireSize::topk(50)
+        );
+        // Quantized estimates shrink with the active count.
+        assert_eq!(
+            mk(CompressionMode::QuantF16).upload_wire_size(n, Some(act)),
+            WireSize::quant_f16(n, act)
+        );
+        assert_eq!(
+            mk(CompressionMode::QuantInt8).upload_wire_size(n, None),
+            WireSize::quant_i8(n, n)
+        );
     }
 }

@@ -269,6 +269,10 @@ impl SimTransport {
             Direction::Download => helios_obs::Dir::Down,
             Direction::Upload => helios_obs::Dir::Up,
         };
+        // v2 frames carry their compression mode into the trace; v1
+        // frames emit no mode field at all, keeping pre-v2 captures (and
+        // the pinned trace digest) byte-identical.
+        let frame_mode = codec::frame_mode(frame);
         let mut elapsed = 0.0f64;
         let mut attempts = 0u32;
         loop {
@@ -280,6 +284,7 @@ impl SimTransport {
                 dir: obs_dir,
                 bytes: frame.len() as u64,
                 attempt: u64::from(attempts),
+                mode: frame_mode.map(str::to_string),
             });
             let mut transfer = link.expected_transfer(frame.len()).as_secs_f64();
             let base_seed = self.base_seed;

@@ -304,7 +304,24 @@ fn validate(records: &[TraceRecord]) -> Result<(), String> {
         ));
     }
 
-    // 4. Scenario events carry a known kind and a finite value.
+    // 4. FrameSent mode tags, when present, name a known wire-v2 mode
+    //    (v1 frames omit the field entirely).
+    const FRAME_MODES: [&str; 4] = ["delta", "topk", "qf16", "qi8"];
+    for (i, rec) in records.iter().enumerate() {
+        if let TraceEvent::FrameSent {
+            mode: Some(mode), ..
+        } = &rec.event
+        {
+            if !FRAME_MODES.contains(&mode.as_str()) {
+                return Err(format!(
+                    "record {}: unknown FrameSent compression mode `{mode}`",
+                    i + 1
+                ));
+            }
+        }
+    }
+
+    // 5. Scenario events carry a known kind and a finite value.
     const SCENARIO_KINDS: [&str; 6] = [
         "join",
         "leave",
@@ -349,7 +366,7 @@ fn run() -> Result<(), String> {
 
     if do_validate {
         validate(&records).map_err(|e| format!("{path}: INVALID: {e}"))?;
-        println!("{path}: OK ({} records, schema + monotone sim-time + phase nesting + terminal outcomes + scenario kinds)", records.len());
+        println!("{path}: OK ({} records, schema + monotone sim-time + phase nesting + terminal outcomes + frame modes + scenario kinds)", records.len());
         return Ok(());
     }
 
@@ -399,6 +416,7 @@ mod tests {
                     dir: Dir::Up,
                     bytes: 32,
                     attempt: 1,
+                    mode: None,
                 },
             ),
             rec(
@@ -527,5 +545,26 @@ mod tests {
         records.retain(|r| !matches!(r.event, TraceEvent::PhaseEnd { .. }));
         let err = validate(&records).expect_err("unclosed phase");
         assert!(err.contains("unclosed"), "{err}");
+    }
+
+    #[test]
+    fn validation_checks_frame_mode_tags() {
+        // Every known wire-v2 mode validates.
+        for mode in ["delta", "topk", "qf16", "qi8"] {
+            let mut records = healthy_trace();
+            let TraceEvent::FrameSent { mode: slot, .. } = &mut records[2].event else {
+                panic!("record 2 should be the FrameSent");
+            };
+            *slot = Some(mode.into());
+            validate(&records).expect("known mode");
+        }
+        // An unknown tag is rejected.
+        let mut records = healthy_trace();
+        let TraceEvent::FrameSent { mode: slot, .. } = &mut records[2].event else {
+            panic!("record 2 should be the FrameSent");
+        };
+        *slot = Some("gzip".into());
+        let err = validate(&records).expect_err("unknown mode");
+        assert!(err.contains("gzip"), "{err}");
     }
 }

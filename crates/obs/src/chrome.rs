@@ -268,6 +268,7 @@ mod tests {
                     dir: Dir::Up,
                     bytes: 64,
                     attempt: 1,
+                    mode: None,
                 },
             },
             TraceRecord {

@@ -118,6 +118,11 @@ pub enum TraceEvent {
         bytes: u64,
         /// Attempt number (1-based).
         attempt: u64,
+        /// Wire-v2 compression mode tag (`"delta"`, `"topk"`, `"qf16"`,
+        /// `"qi8"`). `None` — and *omitted from the serialized record* —
+        /// for v1 frames, so traces captured before wire v2 (and runs
+        /// with compression off) stay byte-identical.
+        mode: Option<String>,
     },
     /// An attempt was lost in flight.
     FrameDropped {
@@ -372,13 +377,22 @@ impl Serialize for TraceEvent {
                 dir,
                 bytes,
                 attempt,
-            } => map(vec![
-                kind,
-                ("device", u(*device)),
-                ("dir", s(dir.as_str())),
-                ("bytes", u(*bytes)),
-                ("attempt", u(*attempt)),
-            ]),
+                mode,
+            } => {
+                let mut fields = vec![
+                    kind,
+                    ("device", u(*device)),
+                    ("dir", s(dir.as_str())),
+                    ("bytes", u(*bytes)),
+                    ("attempt", u(*attempt)),
+                ];
+                // Omitted (not null) when absent: v1 records keep their
+                // exact pre-wire-v2 bytes, pinning the trace digest.
+                if let Some(m) = mode {
+                    fields.push(("mode", s(m)));
+                }
+                map(fields)
+            }
             TraceEvent::FrameDropped { device, attempt }
             | TraceEvent::FrameCorrupted { device, attempt } => {
                 map(vec![kind, ("device", u(*device)), ("attempt", u(*attempt))])
@@ -506,6 +520,17 @@ fn get_str<'a>(pairs: &'a [(String, Value)], key: &str) -> Result<&'a str, de::E
     }
 }
 
+/// Optional string field: absent or `null` reads as `None`.
+fn get_opt_str(pairs: &[(String, Value)], key: &str) -> Result<Option<String>, de::Error> {
+    match find(pairs, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(v)) => Ok(Some(v.clone())),
+        Some(other) => Err(de::Error::custom(format!(
+            "field `{key}` is not a string or null: {other:?}"
+        ))),
+    }
+}
+
 /// Optional device field: absent or `null` reads as `None`.
 fn get_opt_u64(pairs: &[(String, Value)], key: &str) -> Result<Option<u64>, de::Error> {
     match find(pairs, key) {
@@ -570,6 +595,7 @@ impl Deserialize for TraceEvent {
                 dir: Dir::parse(get_str(p, "dir")?)?,
                 bytes: get_u64(p, "bytes")?,
                 attempt: get_u64(p, "attempt")?,
+                mode: get_opt_str(p, "mode")?,
             },
             "FrameDropped" => TraceEvent::FrameDropped {
                 device: get_u64(p, "device")?,
@@ -701,6 +727,14 @@ mod tests {
                 dir: Dir::Up,
                 bytes: 2048,
                 attempt: 1,
+                mode: None,
+            },
+            TraceEvent::FrameSent {
+                device: 0,
+                dir: Dir::Up,
+                bytes: 512,
+                attempt: 1,
+                mode: Some("qi8".into()),
             },
             TraceEvent::FrameDropped {
                 device: 0,
@@ -763,6 +797,35 @@ mod tests {
                 value: 1.0,
             },
         ]
+    }
+
+    #[test]
+    fn frame_sent_without_mode_serializes_exactly_as_before_wire_v2() {
+        // The pinned trace digest (tests/tests/trace_determinism.rs)
+        // hashes these bytes: a v1 FrameSent record must not grow a
+        // `mode` key.
+        let event = TraceEvent::FrameSent {
+            device: 3,
+            dir: Dir::Up,
+            bytes: 1024,
+            attempt: 1,
+            mode: None,
+        };
+        let json = serde_json::to_string(&event).expect("serialize");
+        assert_eq!(
+            json,
+            r#"{"type":"FrameSent","device":3,"dir":"up","bytes":1024,"attempt":1}"#
+        );
+        // A v2 frame carries the tag.
+        let event = TraceEvent::FrameSent {
+            device: 3,
+            dir: Dir::Up,
+            bytes: 256,
+            attempt: 2,
+            mode: Some("topk".into()),
+        };
+        let json = serde_json::to_string(&event).expect("serialize");
+        assert!(json.ends_with(r#""mode":"topk"}"#), "{json}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn check_rank2(op: &'static str, t: &Tensor) -> Result<()> {
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
-    /// Runs on the blocked, cache-aware kernel in [`crate::gemm`]: packed
+    /// Runs on the blocked, cache-aware kernel in `crate::gemm`: packed
     /// operand panels, a register microkernel, and row-parallel workers.
     /// Results are bitwise identical to [`crate::naive_matmul`] at every
     /// thread width — accumulation stays in strictly ascending-`k` order
